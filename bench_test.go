@@ -1,0 +1,309 @@
+// Benchmarks: one per experiment/table of the paper (E1–E10, see
+// DESIGN.md's index) plus micro-benchmarks of the kernels they rest on.
+// Regenerate the full human-readable artifacts with cmd/experiments; these
+// benchmarks time the computations that produce them.
+package kset_test
+
+import (
+	"testing"
+
+	"kset/internal/adversary"
+	"kset/internal/async"
+	"kset/internal/condition"
+	"kset/internal/core"
+	"kset/internal/count"
+	"kset/internal/lattice"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+// BenchmarkE1Lattice verifies one Figure-1 cell (all six theorem checks).
+func BenchmarkE1Lattice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := lattice.VerifyCell(4, 3, 1, 1)
+		if !f.Verified() {
+			b.Fatal("cell failed")
+		}
+	}
+}
+
+// BenchmarkE2Table1 proves and refutes the Table-1 condition's legality
+// (Theorem 14: the refutation exhausts every (2,2)-recognizer).
+func BenchmarkE2Table1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := lattice.Table1Condition()
+		if condition.Check(c, 1, condition.CheckOptions{}) != nil {
+			b.Fatal("not (1,1)-legal")
+		}
+		if _, ok := condition.ExistsRecognizer(lattice.WithL(c, 2), 2); ok {
+			b.Fatal("unexpectedly (2,2)-legal")
+		}
+	}
+}
+
+// BenchmarkE3Count computes a full Theorem-13 size table at a scale far
+// beyond enumeration (10^18-vector domain).
+func BenchmarkE3Count(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for x := 0; x < 30; x += 5 {
+			for l := 1; l <= 3; l++ {
+				if _, err := count.NB(30, 8, x, l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkE4Bounds runs the headline scenario: input in the condition,
+// more than t−d staggered crashes, decision by RCond.
+func BenchmarkE4Bounds(b *testing.B) {
+	p := core.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
+	c := condition.MustNewMax(p.N, 4, p.X(), p.L)
+	input := vector.OfInts(4, 4, 4, 2, 1, 2, 3, 1)
+	fp := adversary.Stagger(p.N, p.T, p.X()+1, p.K, p.RMax())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(p, c, input, fp, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !core.Verify(input, fp, res, p.K).OK() {
+			b.Fatal("spec violated")
+		}
+	}
+}
+
+// BenchmarkE5Tradeoff sweeps the degree d, timing one full size/rounds
+// tradeoff series (counting + protocol runs).
+func BenchmarkE5Tradeoff(b *testing.B) {
+	n, m, t, k, l := 8, 4, 5, 2, 1
+	input := vector.OfInts(4, 4, 4, 4, 4, 4, 4, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := 0; d <= t-l; d++ {
+			p := core.Params{N: n, T: t, K: k, D: d, L: l}
+			if _, err := count.NB(n, m, p.X(), l); err != nil {
+				b.Fatal(err)
+			}
+			c := condition.MustNewMax(n, m, p.X(), l)
+			fp := adversary.Stagger(n, t, p.X()+1, k, p.RMax())
+			if _, err := core.Run(p, c, input, fp, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE6Dividing runs the k-sweep that exhibits the ⌊(d+ℓ−1)/k⌋+1
+// dividing behavior.
+func BenchmarkE6Dividing(b *testing.B) {
+	n, m, t, d := 12, 4, 9, 6
+	input := vector.New(n)
+	for i := range input {
+		input[i] = 4
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 1; k <= 4; k++ {
+			p := core.Params{N: n, T: t, K: k, D: d, L: 1}
+			c := condition.MustNewMax(n, m, p.X(), 1)
+			fp := adversary.Stagger(n, t, p.X()+1, k, p.RMax())
+			if _, err := core.Run(p, c, input, fp, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE7Early times the early-deciding variant on a failure-free run,
+// its best case (2–3 rounds instead of ⌊t/k⌋+1).
+func BenchmarkE7Early(b *testing.B) {
+	p := core.Params{N: 8, T: 6, K: 1, D: 6, L: 1}
+	c := condition.MustNewMax(p.N, 4, p.X(), p.L)
+	input := vector.OfInts(4, 3, 2, 1, 1, 2, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunEarly(p, c, input, rounds.FailurePattern{}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Baseline contrasts per-run cost of the condition-based
+// algorithm (2 rounds on in-condition inputs) and the classical baseline
+// (⌊t/k⌋+1 rounds always).
+func BenchmarkE8Baseline(b *testing.B) {
+	n, m, t, k := 8, 4, 6, 2
+	inC := vector.OfInts(4, 4, 4, 4, 4, 4, 3, 1)
+	p := core.Params{N: n, T: t, K: k, D: 2, L: 1}
+	c := condition.MustNewMax(n, m, p.X(), 1)
+	b.Run("condition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(p, c, inC, rounds.FailurePattern{}, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("classical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunClassical(n, t, k, inC, rounds.FailurePattern{}, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9Adversary times an exhaustive safety sweep of one input over
+// every ≤t-crash prefix-send pattern (the model-checking kernel).
+func BenchmarkE9Adversary(b *testing.B) {
+	p := core.Params{N: 4, T: 2, K: 2, D: 1, L: 1}
+	c := condition.MustNewMax(p.N, 2, p.X(), p.L)
+	input := vector.OfInts(2, 2, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := adversary.Enumerate(p.N, p.T, p.RMax(), func(fp rounds.FailurePattern) bool {
+			res, err := core.Run(p, c, input, fp, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !core.Verify(input, fp, res, p.K).OK() {
+				b.Fatal("spec violated")
+			}
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Async times a full asynchronous execution (goroutines,
+// snapshot scans, decode) with an in-condition input.
+func BenchmarkE10Async(b *testing.B) {
+	c := condition.MustNewMax(6, 4, 2, 2)
+	input := vector.OfInts(4, 4, 4, 2, 1, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := async.Run(async.Config{X: 2, Cond: c, Input: input, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Undecided) != 0 {
+			b.Fatal("blocked")
+		}
+	}
+}
+
+// --- micro-benchmarks of the kernels ---
+
+// BenchmarkDecodeView times the Definition-4 view decoding that dominates
+// the algorithm's first round (m^bottoms completions).
+func BenchmarkDecodeView(b *testing.B) {
+	c := condition.MustNewMax(10, 6, 3, 2)
+	j := vector.OfInts(6, 6, 6, 6, 5, 2, 1, 0, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := condition.DecodeView(c, j); !ok {
+			b.Fatal("undecodable")
+		}
+	}
+}
+
+// BenchmarkPredicate times the analytic P(J) fast path of max conditions.
+func BenchmarkPredicate(b *testing.B) {
+	c := condition.MustNewMax(10, 6, 3, 2)
+	j := vector.OfInts(6, 6, 6, 6, 5, 2, 1, 0, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !condition.Predicate(c, j) {
+			b.Fatal("P must hold")
+		}
+	}
+}
+
+// BenchmarkEngineRound times the synchronous kernel itself: one classical
+// run over 64 processes (n² message routing per round).
+func BenchmarkEngineRound(b *testing.B) {
+	n, t, k := 64, 32, 4
+	input := vector.New(n)
+	for i := range input {
+		input[i] = vector.Value(1 + i%8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunClassical(n, t, k, input, rounds.FailurePattern{}, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineConcurrent is the same run on the goroutine-per-process
+// executor, measuring the coordination overhead.
+func BenchmarkEngineConcurrent(b *testing.B) {
+	n, t, k := 64, 32, 4
+	input := vector.New(n)
+	for i := range input {
+		input[i] = vector.Value(1 + i%8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunClassical(n, t, k, input, rounds.FailurePattern{}, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotScan compares the two shared-memory substrates' scans:
+// the lock-serialized simulation vs the wait-free Afek-et-al construction.
+func BenchmarkSnapshotScan(b *testing.B) {
+	for name, s := range map[string]async.Store{
+		"mutex":    async.NewSnapshot(64),
+		"waitfree": async.NewAtomicSnapshot(64),
+	} {
+		for i := 0; i < 64; i++ {
+			s.Write(i, vector.Value(i+1))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if v := s.Scan(); len(v) != 64 {
+					b.Fatal("bad scan")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAsyncMemoryAblation runs the full asynchronous agreement on
+// each substrate.
+func BenchmarkAsyncMemoryAblation(b *testing.B) {
+	c := condition.MustNewMax(6, 4, 2, 2)
+	input := vector.OfInts(4, 4, 4, 2, 1, 2)
+	for name, kind := range map[string]async.MemoryKind{
+		"mutex":    async.MutexMemory,
+		"waitfree": async.WaitFreeMemory,
+	} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := async.Run(async.Config{
+					X: 2, Cond: c, Input: input, Seed: int64(i), Memory: kind,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(out.Undecided) != 0 {
+					b.Fatal("blocked")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNBCounting times a single large Theorem-13 evaluation.
+func BenchmarkNBCounting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := count.NB(100, 16, 40, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Command experiments regenerates every evaluation artifact of the paper
+// (E1–E10 of DESIGN.md) and prints the verification reports recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kset/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	only := fs.String("only", "", "run a single experiment (E1..E10)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, r := range experiments.All() {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		fmt.Println(r)
+		fmt.Println()
+		if !r.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed verification", failed)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a condition, run condition-based k-set agreement, and
+// inspect the result.
+//
+// Eight processes propose values; at most t = 5 may crash; decisions must
+// not exceed k = 2 distinct values. Instantiated with a condition of degree
+// d = 3 (a (t−d, ℓ) = (2,1)-legal condition), the algorithm decides in two
+// rounds when the input vector belongs to the condition — instead of the
+// classical ⌊t/k⌋+1 = 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kset"
+)
+
+func main() {
+	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
+
+	// The max_ℓ-generated (t−d, ℓ)-legal condition over values {1..4}:
+	// vectors whose greatest value appears on more than t−d = 2 entries.
+	cond, err := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An input in the condition: value 4 proposed by three processes.
+	input := kset.VectorOf(4, 4, 4, 2, 1, 2, 3, 1)
+	fmt.Printf("input %v belongs to the condition: %v\n", input, cond.Contains(input))
+
+	// Crash two processes before they say anything.
+	fp := kset.InitialCrashes(p.N, 2)
+
+	res, err := kset.Agree(p, cond, input, fp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := kset.Verify(input, fp, res, p.K)
+	fmt.Printf("decisions: %v\n", res.Decisions)
+	fmt.Printf("all decided by round %d (classical bound would be %d)\n",
+		res.MaxDecisionRound(), p.T/p.K+1)
+	fmt.Printf("specification: %v\n", verdict)
+}

@@ -1,0 +1,131 @@
+// Package adversary generates failure patterns for the synchronous model:
+// canned scenarios (crash-free, initial crashes, staggered worst-case
+// chains), seeded random patterns for property tests, and exhaustive
+// enumeration of every prefix-send crash pattern for model checking small
+// configurations.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kset/internal/rounds"
+)
+
+// None returns the failure-free pattern.
+func None() rounds.FailurePattern { return rounds.FailurePattern{} }
+
+// Initial returns a pattern in which processes ids all crash in round 1
+// before sending anything — the paper's "initially crashed" processes
+// (their entries stay ⊥ in every view).
+func Initial(ids ...rounds.ProcessID) rounds.FailurePattern {
+	fp := rounds.FailurePattern{Crashes: make(map[rounds.ProcessID]rounds.Crash, len(ids))}
+	for _, id := range ids {
+		fp.Crashes[id] = rounds.Crash{Round: 1, AfterSends: 0}
+	}
+	return fp
+}
+
+// InitialLast returns Initial over the last count processes p_{n-count+1}..p_n.
+func InitialLast(n, count int) rounds.FailurePattern {
+	ids := make([]rounds.ProcessID, 0, count)
+	for i := 0; i < count; i++ {
+		ids = append(ids, rounds.ProcessID(n-i))
+	}
+	return Initial(ids...)
+}
+
+// Stagger returns the containment-chain adversary of the agreement proof's
+// counting argument: in round 1, the last c1 processes crash with
+// increasing send prefixes (the i-th delivers to only the first i
+// processes), giving survivors views that differ as much as the model
+// allows; from round 2 on, perRound further processes crash per round, each
+// delivering only to the first process. Crashes stop when total crashes
+// reach t.
+func Stagger(n, t, c1, perRound, maxRounds int) rounds.FailurePattern {
+	fp := rounds.FailurePattern{Crashes: make(map[rounds.ProcessID]rounds.Crash)}
+	next := rounds.ProcessID(n) // crash from the highest id down
+	crashed := 0
+	for i := 0; i < c1 && crashed < t && next >= 1; i++ {
+		fp.Crashes[next] = rounds.Crash{Round: 1, AfterSends: i % (n + 1)}
+		next--
+		crashed++
+	}
+	for r := 2; r <= maxRounds && crashed < t; r++ {
+		for i := 0; i < perRound && crashed < t && next >= 1; i++ {
+			fp.Crashes[next] = rounds.Crash{Round: r, AfterSends: 1}
+			next--
+			crashed++
+		}
+	}
+	return fp
+}
+
+// Random returns a random pattern with at most t crashes within maxRounds
+// rounds, with uniformly random crash rounds and send prefixes.
+func Random(r *rand.Rand, n, t, maxRounds int) rounds.FailurePattern {
+	fp := rounds.FailurePattern{Crashes: make(map[rounds.ProcessID]rounds.Crash)}
+	count := r.Intn(t + 1)
+	perm := r.Perm(n)
+	for i := 0; i < count; i++ {
+		fp.Crashes[rounds.ProcessID(perm[i]+1)] = rounds.Crash{
+			Round:      1 + r.Intn(maxRounds),
+			AfterSends: r.Intn(n + 1),
+		}
+	}
+	return fp
+}
+
+// Enumerate calls fn on every prefix-send failure pattern with at most t
+// crashes in rounds 1..maxRounds over n processes, including the
+// failure-free pattern. Enumeration stops early if fn returns false.
+//
+// The pattern space is Σ_{f≤t} C(n,f)·(maxRounds·(n+1))^f: exhaustive model
+// checking is practical for small n, t and round counts only — use Count
+// to budget before running. The callback must not retain the pattern.
+func Enumerate(n, t, maxRounds int, fn func(rounds.FailurePattern) bool) error {
+	if n < 1 || t < 0 || t > n || maxRounds < 1 {
+		return fmt.Errorf("adversary: bad enumeration domain n=%d t=%d rounds=%d", n, t, maxRounds)
+	}
+	fp := rounds.FailurePattern{Crashes: make(map[rounds.ProcessID]rounds.Crash)}
+	var rec func(firstID int) bool
+	rec = func(firstID int) bool {
+		if !fn(fp) {
+			return false
+		}
+		if len(fp.Crashes) == t {
+			return true
+		}
+		for id := firstID; id <= n; id++ {
+			for r := 1; r <= maxRounds; r++ {
+				for sends := 0; sends <= n; sends++ {
+					fp.Crashes[rounds.ProcessID(id)] = rounds.Crash{Round: r, AfterSends: sends}
+					if !rec(id + 1) {
+						return false
+					}
+					delete(fp.Crashes, rounds.ProcessID(id))
+				}
+			}
+		}
+		return true
+	}
+	rec(1)
+	return nil
+}
+
+// Count returns the number of patterns Enumerate generates.
+func Count(n, t, maxRounds int) int64 {
+	perProcess := int64(maxRounds) * int64(n+1)
+	total := int64(0)
+	// Σ_{f=0..t} C(n,f) · perProcess^f.
+	comb := int64(1)
+	pow := int64(1)
+	for f := 0; f <= t; f++ {
+		if f > 0 {
+			comb = comb * int64(n-f+1) / int64(f)
+			pow *= perProcess
+		}
+		total += comb * pow
+	}
+	return total
+}

@@ -1,0 +1,78 @@
+package adversary
+
+import (
+	"fmt"
+
+	"kset/internal/rounds"
+)
+
+// The paper's model fixes the send order only in round 1; from round 2 on
+// the adversary may deliver a crashing process's prefix in any order. The
+// plain Enumerate uses the identity order everywhere, which biases partial
+// deliveries toward low process ids. EnumerateWithOrders additionally
+// assigns each late-round partial crash the reversed order, covering the
+// opposite knowledge distribution (high ids informed, low ids starved) and
+// every mix of the two across crashers.
+
+// reversedOrder returns p_n..p_1.
+func reversedOrder(n int) []rounds.ProcessID {
+	order := make([]rounds.ProcessID, n)
+	for i := range order {
+		order[i] = rounds.ProcessID(n - i)
+	}
+	return order
+}
+
+// EnumerateWithOrders calls fn on every pattern Enumerate generates, and
+// additionally on every variant that reverses the send order of some
+// subset of the late-round partial crashers (crashes in rounds ≥ 2 with
+// 0 < AfterSends < n). The callback must not retain the pattern.
+func EnumerateWithOrders(n, t, maxRounds int, fn func(rounds.FailurePattern) bool) error {
+	rev := reversedOrder(n)
+	return Enumerate(n, t, maxRounds, func(fp rounds.FailurePattern) bool {
+		// Collect the crashers whose delivery order matters.
+		var partial []rounds.ProcessID
+		for id, cr := range fp.Crashes {
+			if cr.Round >= 2 && cr.AfterSends > 0 && cr.AfterSends < n {
+				partial = append(partial, id)
+			}
+		}
+		// Try every subset of them reversed (identity subset first).
+		for mask := 0; mask < 1<<len(partial); mask++ {
+			variant := fp
+			if mask != 0 {
+				variant.Orders = make(map[rounds.ProcessID]map[int][]rounds.ProcessID, len(partial))
+				for b, id := range partial {
+					if mask&(1<<b) != 0 {
+						variant.Orders[id] = map[int][]rounds.ProcessID{fp.Crashes[id].Round: rev}
+					}
+				}
+			}
+			if !fn(variant) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// CountWithOrders returns the number of patterns EnumerateWithOrders
+// generates. It enumerates crash placements (cheap: no protocol runs) to
+// count the order variants exactly.
+func CountWithOrders(n, t, maxRounds int) (int64, error) {
+	if n < 1 || t < 0 || t > n || maxRounds < 1 {
+		return 0, fmt.Errorf("adversary: bad enumeration domain n=%d t=%d rounds=%d", n, t, maxRounds)
+	}
+	var total int64
+	err := Enumerate(n, t, maxRounds, func(fp rounds.FailurePattern) bool {
+		partial := 0
+		for _, cr := range fp.Crashes {
+			if cr.Round >= 2 && cr.AfterSends > 0 && cr.AfterSends < n {
+				partial++
+			}
+		}
+		total += int64(1) << partial
+		return true
+	})
+	return total, err
+}

@@ -1,0 +1,153 @@
+package async
+
+import (
+	"sync/atomic"
+
+	"kset/internal/vector"
+)
+
+// Store is the shared-memory interface the asynchronous algorithm runs on:
+// a single-writer-per-entry array with an atomic snapshot scan.
+type Store interface {
+	// Write sets entry i (0-based); only process i+1 may write it.
+	Write(i int, v vector.Value)
+	// Scan returns an atomic snapshot of the whole array.
+	Scan() vector.Vector
+	// AnyNonBottom returns the greatest non-⊥ entry visible, or ⊥.
+	AnyNonBottom() vector.Value
+}
+
+var (
+	_ Store = (*Snapshot)(nil)
+	_ Store = (*AtomicSnapshot)(nil)
+)
+
+// AtomicSnapshot is the wait-free atomic snapshot object of Afek, Attiya,
+// Dolev, Gafni, Merritt and Shavit (the paper's reference [1]), built from
+// single-writer atomic registers with no locks:
+//
+//   - every register holds (value, sequence number, embedded view);
+//   - Write first Scans, then publishes the new value together with that
+//     scan (the "help" other scanners may borrow);
+//   - Scan repeatedly collects all registers; two identical consecutive
+//     collects form a clean double collect (nothing moved, so the collect
+//     is an atomic snapshot); otherwise a register that is seen to move
+//     twice was written entirely within this scan's interval, and its
+//     embedded view — taken inside that interval — is returned instead.
+//
+// Each scan terminates after at most n+2 collects (n single moves force a
+// double move), making both operations wait-free. Scans are linearizable,
+// hence totally ordered by containment in the algorithm's write-once use —
+// the property the agreement argument needs. The mutex-based Snapshot is
+// the simulation stand-in; this is the real construction, and the two are
+// interchangeable through Store (Config.Memory selects).
+type AtomicSnapshot struct {
+	regs RegisterArray
+}
+
+// snapReg is one single-writer register's contents.
+type snapReg struct {
+	value vector.Value
+	seq   uint64
+	view  vector.Vector // scan embedded by the write, borrowed by helpers
+}
+
+// RegisterArray abstracts the n single-writer atomic registers the
+// snapshot construction runs over. The in-process implementation uses
+// atomic pointers; the message-passing implementation (package-level
+// NewQuorumArray) emulates each register with ABD-style quorums. The
+// snapshot algorithm is oblivious to the choice — that layering is exactly
+// how the shared-memory algorithms of the condition-based literature are
+// ported to message passing.
+type RegisterArray interface {
+	// Len returns n.
+	Len() int
+	// Load returns the current contents of register i.
+	Load(i int) *snapReg
+	// Store overwrites register i (single-writer discipline: only process
+	// i+1 stores to it).
+	Store(i int, r *snapReg)
+}
+
+// localRegs is the in-process RegisterArray over atomic pointers.
+type localRegs []atomic.Pointer[snapReg]
+
+func (l localRegs) Len() int                { return len(l) }
+func (l localRegs) Load(i int) *snapReg     { return l[i].Load() }
+func (l localRegs) Store(i int, r *snapReg) { l[i].Store(r) }
+
+// NewAtomicSnapshot creates a wait-free snapshot object with n entries
+// over in-process atomic registers.
+func NewAtomicSnapshot(n int) *AtomicSnapshot {
+	regs := make(localRegs, n)
+	for i := range regs {
+		regs[i].Store(&snapReg{value: vector.Bottom, view: vector.New(n)})
+	}
+	return &AtomicSnapshot{regs: regs}
+}
+
+// NewSnapshotOver runs the snapshot construction over any register array
+// (every register must be initialized non-nil).
+func NewSnapshotOver(regs RegisterArray) *AtomicSnapshot {
+	return &AtomicSnapshot{regs: regs}
+}
+
+// Write implements Store. Per the single-writer discipline, entry i must
+// only ever be written by one goroutine at a time.
+func (s *AtomicSnapshot) Write(i int, v vector.Value) {
+	view := s.Scan()
+	old := s.regs.Load(i)
+	s.regs.Store(i, &snapReg{value: v, seq: old.seq + 1, view: view})
+}
+
+// collect reads every register once (not atomically as a whole).
+func (s *AtomicSnapshot) collect() []*snapReg {
+	out := make([]*snapReg, s.regs.Len())
+	for i := range out {
+		out[i] = s.regs.Load(i)
+	}
+	return out
+}
+
+// Scan implements Store with the double-collect-or-borrow loop.
+func (s *AtomicSnapshot) Scan() vector.Vector {
+	n := s.regs.Len()
+	moved := make([]int, n)
+	prev := s.collect()
+	for {
+		cur := s.collect()
+		clean := true
+		for i := 0; i < n; i++ {
+			if cur[i].seq != prev[i].seq {
+				clean = false
+				moved[i]++
+				if moved[i] >= 2 {
+					// cur[i] was written entirely inside this scan: its
+					// embedded view is an atomic snapshot within our
+					// interval.
+					return cur[i].view.Clone()
+				}
+			}
+		}
+		if clean {
+			out := make(vector.Vector, n)
+			for i := 0; i < n; i++ {
+				out[i] = cur[i].value
+			}
+			return out
+		}
+		prev = cur
+	}
+}
+
+// AnyNonBottom implements Store with a single collect (existence of a
+// non-⊥ entry needs no atomicity across entries).
+func (s *AtomicSnapshot) AnyNonBottom() vector.Value {
+	best := vector.Bottom
+	for i := 0; i < s.regs.Len(); i++ {
+		if r := s.regs.Load(i); r.value > best {
+			best = r.value
+		}
+	}
+	return best
+}

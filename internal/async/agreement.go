@@ -1,0 +1,211 @@
+package async
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"kset/internal/condition"
+	"kset/internal/vector"
+)
+
+// CrashPoint says where in its execution a process crashes.
+type CrashPoint int
+
+// Crash points for the asynchronous adversary.
+const (
+	// NoCrash lets the process run to completion.
+	NoCrash CrashPoint = iota
+	// CrashBeforeWrite stops the process before it deposits its value: its
+	// input-vector entry stays ⊥ forever. This is the adversary the
+	// density property is built against.
+	CrashBeforeWrite
+	// CrashAfterWrite stops the process after its value is visible but
+	// before it helps or decides.
+	CrashAfterWrite
+)
+
+// MemoryKind selects the shared-memory substrate of a run.
+type MemoryKind int
+
+// Available substrates.
+const (
+	// MutexMemory is the lock-serialized snapshot simulation (default).
+	MutexMemory MemoryKind = iota
+	// WaitFreeMemory is the lock-free Afek-et-al atomic snapshot.
+	WaitFreeMemory
+	// MessagePassingMemory emulates the registers over an asynchronous
+	// message-passing network with ABD quorum operations; it requires
+	// x < n/2 (quorum intersection) and crashes also silence the crashed
+	// process's replica.
+	MessagePassingMemory
+)
+
+// Config describes one asynchronous execution.
+type Config struct {
+	// X is the crash resilience: the condition must be (x,ℓ)-legal and
+	// views with more than x missing entries are not decoded.
+	X int
+	// Cond is the (x,ℓ)-legal condition instantiating the algorithm.
+	Cond condition.Condition
+	// Input is the full input vector (entry i proposed by process i+1).
+	Input vector.Vector
+	// Crashes maps 1-based process ids to crash points.
+	Crashes map[int]CrashPoint
+	// Seed drives the per-process scheduling jitter, making the
+	// interleavings reproducible per seed.
+	Seed int64
+	// Patience bounds how long an undecided process keeps re-scanning
+	// before giving up (condition-based termination is conditional; giving
+	// up is reported, not an error). Defaults to 300ms.
+	Patience time.Duration
+	// Memory selects the snapshot substrate; the algorithm is oblivious to
+	// the choice (both are linearizable).
+	Memory MemoryKind
+}
+
+// Outcome reports one asynchronous execution.
+type Outcome struct {
+	// Decisions maps 1-based process ids to decided values.
+	Decisions map[int]vector.Value
+	// Undecided lists correct processes that exhausted their patience:
+	// with an input outside the condition this is expected behavior.
+	Undecided []int
+}
+
+// DistinctDecisions returns the set of decided values.
+func (o *Outcome) DistinctDecisions() vector.Set {
+	var s vector.Set
+	for _, v := range o.Decisions {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// Run executes the condition-based asynchronous ℓ-set agreement algorithm:
+// every process deposits its value in the snapshot, re-scans until at most
+// x entries are missing, and decides max(h_ℓ(view)) if the view can still
+// belong to the condition (P); otherwise it adopts any value already
+// decided by another process. Processes crash per cfg.Crashes.
+func Run(cfg Config) (*Outcome, error) {
+	n := len(cfg.Input)
+	if n < 2 {
+		return nil, fmt.Errorf("async: n=%d, want ≥ 2", n)
+	}
+	if !cfg.Input.IsFull() {
+		return nil, fmt.Errorf("async: input %v has ⊥ entries", cfg.Input)
+	}
+	if cfg.Cond == nil || cfg.Cond.N() != n {
+		return nil, fmt.Errorf("async: condition missing or sized %d, want %d", condN(cfg.Cond), n)
+	}
+	if cfg.X < 0 || cfg.X >= n {
+		return nil, fmt.Errorf("async: x=%d, want 0 ≤ x < n", cfg.X)
+	}
+	if len(cfg.Crashes) > cfg.X {
+		return nil, fmt.Errorf("async: %d crashes exceed x=%d", len(cfg.Crashes), cfg.X)
+	}
+	patience := cfg.Patience
+	if patience <= 0 {
+		patience = 300 * time.Millisecond
+	}
+
+	var values, decisions Store // the emulated input vector; decided values
+	var network *Network
+	switch cfg.Memory {
+	case WaitFreeMemory:
+		values = NewAtomicSnapshot(n)
+		decisions = NewAtomicSnapshot(n)
+	case MessagePassingMemory:
+		nw, err := NewNetwork(n, cfg.X, 2*n, n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		valRegs, err := nw.Registers(0, n)
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		decRegs, err := nw.Registers(n, n)
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		network = nw
+		values = NewSnapshotOver(valRegs)
+		decisions = NewSnapshotOver(decRegs)
+		defer nw.Close()
+	default:
+		values = NewSnapshot(n)
+		decisions = NewSnapshot(n)
+	}
+
+	out := &Outcome{Decisions: make(map[int]vector.Value)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id := 1; id <= n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			jitter := func() { time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond) }
+
+			crash := cfg.Crashes[id]
+			if crash == CrashBeforeWrite {
+				if network != nil {
+					network.Crash(id) // the replica dies with the process
+				}
+				return
+			}
+			jitter()
+			values.Write(id-1, cfg.Input[id-1])
+			if crash == CrashAfterWrite {
+				if network != nil {
+					network.Crash(id)
+				}
+				return
+			}
+
+			deadline := time.Now().Add(patience)
+			for {
+				jitter()
+				view := values.Scan()
+				if view.BottomCount() <= cfg.X {
+					if condition.Predicate(cfg.Cond, view) {
+						if h, ok := condition.DecodeView(cfg.Cond, view); ok && !h.Empty() {
+							d := h.Max()
+							decisions.Write(id-1, d)
+							mu.Lock()
+							out.Decisions[id] = d
+							mu.Unlock()
+							return
+						}
+					}
+					// ¬P is stable under growing views (completions only
+					// shrink): from here on only adoption can decide.
+				}
+				if d := decisions.AnyNonBottom(); d != vector.Bottom {
+					mu.Lock()
+					out.Decisions[id] = d
+					mu.Unlock()
+					return
+				}
+				if time.Now().After(deadline) {
+					mu.Lock()
+					out.Undecided = append(out.Undecided, id)
+					mu.Unlock()
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+func condN(c condition.Condition) int {
+	if c == nil {
+		return 0
+	}
+	return c.N()
+}

@@ -1,0 +1,240 @@
+package async
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"kset/internal/condition"
+	"kset/internal/vector"
+)
+
+func TestSnapshotBasics(t *testing.T) {
+	s := NewSnapshot(3)
+	if got := s.Scan(); !got.Equal(vector.OfInts(0, 0, 0)) {
+		t.Errorf("fresh scan = %v", got)
+	}
+	s.Write(1, 7)
+	if got := s.Scan(); !got.Equal(vector.OfInts(0, 7, 0)) {
+		t.Errorf("scan = %v", got)
+	}
+	if got := s.AnyNonBottom(); got != 7 {
+		t.Errorf("AnyNonBottom = %v", got)
+	}
+	// Scan returns a copy: mutating it must not affect the object.
+	v := s.Scan()
+	v[0] = 9
+	if got := s.Scan(); got[0] != vector.Bottom {
+		t.Error("Scan leaked internal storage")
+	}
+}
+
+// TestSnapshotScansContainmentOrdered is the property the agreement
+// argument rests on: concurrent scans of a write-once array are totally
+// ordered by containment.
+func TestSnapshotScansContainmentOrdered(t *testing.T) {
+	const n, scans = 8, 200
+	s := NewSnapshot(n)
+	var wg sync.WaitGroup
+	views := make([]vector.Vector, scans)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			s.Write(i, vector.Value(i+1))
+			time.Sleep(time.Microsecond)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * (scans / 4); i < (g+1)*(scans/4); i++ {
+				views[i] = s.Scan()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < scans; i++ {
+		for j := 0; j < scans; j++ {
+			if !views[i].ContainedIn(views[j]) && !views[j].ContainedIn(views[i]) {
+				t.Fatalf("incomparable scans %v and %v", views[i], views[j])
+			}
+		}
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	c := condition.MustNewMax(4, 3, 1, 1)
+	ok := Config{X: 1, Cond: c, Input: vector.OfInts(3, 3, 1, 2)}
+	tests := []struct {
+		name   string
+		mutate func(Config) Config
+	}{
+		{"short input", func(c Config) Config { c.Input = vector.OfInts(1, 2); return c }},
+		{"bottom input", func(c Config) Config { c.Input = vector.OfInts(1, 0, 1, 1); return c }},
+		{"nil condition", func(c Config) Config { c.Cond = nil; return c }},
+		{"x negative", func(c Config) Config { c.X = -1; return c }},
+		{"x = n", func(c Config) Config { c.X = 4; return c }},
+		{"too many crashes", func(c Config) Config {
+			c.Crashes = map[int]CrashPoint{1: CrashBeforeWrite, 2: CrashBeforeWrite}
+			return c
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.mutate(ok)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+// TestTerminationInCondition: input ∈ C with up to x crashes ⟹ every
+// correct process decides, at most ℓ values, all from h_ℓ(input).
+func TestTerminationInCondition(t *testing.T) {
+	n, m, x, l := 5, 3, 2, 2
+	c := condition.MustNewMax(n, m, x, l)
+	input := vector.OfInts(3, 3, 2, 1, 2)
+	if !c.Contains(input) {
+		t.Fatal("input must be in C")
+	}
+	for _, crashes := range []map[int]CrashPoint{
+		nil,
+		{5: CrashBeforeWrite},
+		{4: CrashBeforeWrite, 5: CrashBeforeWrite},
+		{2: CrashAfterWrite, 5: CrashBeforeWrite},
+	} {
+		out, err := Run(Config{X: x, Cond: c, Input: input, Crashes: crashes, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Undecided) != 0 {
+			t.Fatalf("crashes=%v: undecided %v", crashes, out.Undecided)
+		}
+		for id := 1; id <= n; id++ {
+			if crashes[id] != NoCrash {
+				continue
+			}
+			if _, ok := out.Decisions[id]; !ok {
+				t.Fatalf("crashes=%v: correct p%d did not decide", crashes, id)
+			}
+		}
+		distinct := out.DistinctDecisions()
+		if distinct.Len() > l {
+			t.Fatalf("crashes=%v: %d distinct values %v > ℓ=%d", crashes, distinct.Len(), distinct, l)
+		}
+		if !distinct.SubsetOf(c.Recognize(input)) {
+			t.Fatalf("crashes=%v: decided %v ⊄ h_ℓ(I)=%v", crashes, distinct, c.Recognize(input))
+		}
+	}
+}
+
+// TestSafetyOutsideCondition: with an input outside C the algorithm may
+// block, but whatever is decided stays within ℓ values and validity.
+func TestSafetyOutsideCondition(t *testing.T) {
+	n, m, x, l := 5, 4, 2, 1
+	c := condition.MustNewMax(n, m, x, l)
+	input := vector.OfInts(4, 3, 2, 1, 1) // max appears once: outside C
+	if c.Contains(input) {
+		t.Fatal("input must be outside C")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		out, err := Run(Config{
+			X: x, Cond: c, Input: input, Seed: seed, Patience: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := out.DistinctDecisions()
+		if distinct.Len() > l {
+			t.Fatalf("seed=%d: %d distinct values %v", seed, distinct.Len(), distinct)
+		}
+		for id, v := range out.Decisions {
+			if !input.Vals().Has(v) {
+				t.Fatalf("seed=%d: p%d decided unproposed %v", seed, id, v)
+			}
+		}
+	}
+}
+
+// TestBlockingOutsideCondition exhibits the conditional-termination face:
+// an input every view of which proves I ∉ C leaves every process undecided.
+// (A max_ℓ-generated condition can never block this way — a view missing
+// exactly x entries can always be completed into it — so the witness is an
+// explicit single-vector condition.)
+func TestBlockingOutsideCondition(t *testing.T) {
+	n, x := 4, 1
+	c := condition.NewExplicit(n, 4, 1)
+	c.MustAdd(vector.OfInts(1, 1, 2, 3), vector.SetOf(1))
+	if v := condition.Check(c, x, condition.CheckOptions{}); v != nil {
+		t.Fatalf("witness condition not (1,1)-legal: %v", v)
+	}
+	input := vector.OfInts(2, 2, 3, 1)
+	if c.Contains(input) {
+		t.Fatal("input must be outside C")
+	}
+	// Premise: every view of input with ≤ x missing entries fails P.
+	allViewsFail := true
+	vector.ForEachView(input, x, func(j vector.Vector) bool {
+		if condition.Predicate(c, j) {
+			allViewsFail = false
+			return false
+		}
+		return true
+	})
+	if !allViewsFail {
+		t.Fatal("premise broken: some view can still be completed into C")
+	}
+	out, err := Run(Config{X: x, Cond: c, Input: input, Seed: 3, Patience: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Decisions) != 0 {
+		t.Fatalf("unexpected decisions %v", out.Decisions)
+	}
+	if len(out.Undecided) != n {
+		t.Fatalf("undecided = %v, want all %d", out.Undecided, n)
+	}
+}
+
+// TestPropertyRandom fuzzes inputs, conditions and crash sets: safety must
+// hold on every interleaving, and termination whenever the input is in C.
+func TestPropertyRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + r.Intn(4)
+		m := 2 + r.Intn(3)
+		x := r.Intn(n - 1)
+		l := 1 + r.Intn(2)
+		c := condition.MustNewMax(n, m, x, l)
+		input := vector.New(n)
+		for i := range input {
+			input[i] = vector.Value(1 + r.Intn(m))
+		}
+		crashes := map[int]CrashPoint{}
+		perm := r.Perm(n)
+		for i := 0; i < r.Intn(x+1); i++ {
+			crashes[perm[i]+1] = CrashPoint(1 + r.Intn(2))
+		}
+		out, err := Run(Config{
+			X: x, Cond: c, Input: input, Crashes: crashes,
+			Seed: int64(trial), Patience: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := out.DistinctDecisions(); d.Len() > l {
+			t.Fatalf("trial %d: %d values %v > ℓ=%d (input %v)", trial, d.Len(), d, l, input)
+		}
+		for id, v := range out.Decisions {
+			if !input.Vals().Has(v) {
+				t.Fatalf("trial %d: p%d decided unproposed %v", trial, id, v)
+			}
+		}
+		if c.Contains(input) && len(out.Undecided) > 0 {
+			t.Fatalf("trial %d: input in C but undecided %v", trial, out.Undecided)
+		}
+	}
+}

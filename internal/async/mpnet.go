@@ -1,0 +1,200 @@
+package async
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kset/internal/vector"
+)
+
+// This file ports the shared-memory substrate to a crash-prone
+// asynchronous message-passing system, the way the condition-based
+// literature does ([20]'s message-passing protocols): each process also
+// acts as a replica holding a copy of every register, a register write or
+// read is an ABD-style quorum operation over n−x replicas, and the Afek
+// snapshot construction runs unchanged on top through RegisterArray.
+// Quorum intersection needs x < n/2 — the classical requirement for
+// emulating registers under asynchrony — which Run enforces for this
+// memory kind.
+
+// mpOp is the replica protocol operation.
+type mpOp int
+
+const (
+	mpRead mpOp = iota
+	mpWrite
+)
+
+// mpRequest is one replica-protocol message.
+type mpRequest struct {
+	op    mpOp
+	idx   int
+	reg   *snapReg // for writes
+	reply chan *snapReg
+}
+
+// Network is an asynchronous message-passing system of n process-replicas
+// emulating numRegs shared registers. Message handling is jittered by a
+// seeded source per replica; crashed replicas silently drop requests.
+type Network struct {
+	n, x    int
+	numRegs int
+	viewLen int
+	inboxes []chan mpRequest
+	crashed []atomic.Bool
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewNetwork starts the n replica goroutines of a message-passing system
+// tolerating x < n/2 crashes, emulating numRegs registers (each
+// initialized to ⊥ with an empty embedded view of width viewLen).
+func NewNetwork(n, x, numRegs, viewLen int, seed int64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("async: network n=%d, want ≥ 2", n)
+	}
+	if x < 0 || 2*x >= n {
+		return nil, fmt.Errorf("async: quorum emulation needs x < n/2, got x=%d n=%d", x, n)
+	}
+	if numRegs < 1 || viewLen < 0 {
+		return nil, fmt.Errorf("async: bad register space (numRegs=%d viewLen=%d)", numRegs, viewLen)
+	}
+	nw := &Network{
+		n:       n,
+		x:       x,
+		numRegs: numRegs,
+		viewLen: viewLen,
+		inboxes: make([]chan mpRequest, n),
+		crashed: make([]atomic.Bool, n),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		nw.inboxes[i] = make(chan mpRequest, 64)
+		nw.wg.Add(1)
+		go nw.replica(i, seed+int64(i))
+	}
+	return nw, nil
+}
+
+// replica serves one process's copy of the register space until Close.
+func (nw *Network) replica(id int, seed int64) {
+	defer nw.wg.Done()
+	r := rand.New(rand.NewSource(seed))
+	regs := make([]*snapReg, nw.numRegs)
+	for i := range regs {
+		regs[i] = &snapReg{value: vector.Bottom, view: vector.New(nw.viewLen)}
+	}
+	for {
+		select {
+		case <-nw.done:
+			return
+		case req := <-nw.inboxes[id]:
+			if nw.crashed[id].Load() {
+				continue // crashed replicas drain silently
+			}
+			if r.Intn(4) == 0 {
+				time.Sleep(time.Duration(r.Intn(50)) * time.Microsecond)
+			}
+			switch req.op {
+			case mpWrite:
+				if req.reg.seq > regs[req.idx].seq {
+					regs[req.idx] = req.reg
+				}
+				req.reply <- regs[req.idx]
+			case mpRead:
+				req.reply <- regs[req.idx]
+			}
+		}
+	}
+}
+
+// Crash makes replica id (1-based) stop responding; at most x replicas may
+// crash or quorum operations block.
+func (nw *Network) Crash(id int) {
+	if id >= 1 && id <= nw.n {
+		nw.crashed[id-1].Store(true)
+	}
+}
+
+// Close shuts the replicas down and waits for them.
+func (nw *Network) Close() {
+	close(nw.done)
+	nw.wg.Wait()
+}
+
+// broadcast sends a request to every replica (each send in its own
+// goroutine so a full inbox of a crashed replica never blocks the caller)
+// and returns the reply channel, sized to never block repliers.
+func (nw *Network) broadcast(op mpOp, idx int, reg *snapReg) chan *snapReg {
+	reply := make(chan *snapReg, nw.n)
+	req := mpRequest{op: op, idx: idx, reg: reg, reply: reply}
+	for i := 0; i < nw.n; i++ {
+		i := i
+		go func() {
+			select {
+			case nw.inboxes[i] <- req:
+			case <-nw.done:
+			}
+		}()
+	}
+	return reply
+}
+
+// await collects n−x replies and returns the one with the greatest
+// sequence number.
+func (nw *Network) await(reply chan *snapReg) *snapReg {
+	var best *snapReg
+	for got := 0; got < nw.n-nw.x; got++ {
+		select {
+		case r := <-reply:
+			if best == nil || r.seq > best.seq {
+				best = r
+			}
+		case <-nw.done:
+			return best
+		}
+	}
+	return best
+}
+
+// quorumArray is a RegisterArray window [offset, offset+count) over the
+// network's register space. Clients are stateless: one instance may be
+// shared by every process.
+type quorumArray struct {
+	nw            *Network
+	offset, count int
+}
+
+// Registers returns the RegisterArray window [offset, offset+count).
+func (nw *Network) Registers(offset, count int) (RegisterArray, error) {
+	if offset < 0 || count < 1 || offset+count > nw.numRegs {
+		return nil, fmt.Errorf("async: register window [%d,%d) outside space of %d", offset, offset+count, nw.numRegs)
+	}
+	return &quorumArray{nw: nw, offset: offset, count: count}, nil
+}
+
+// Len implements RegisterArray.
+func (q *quorumArray) Len() int { return q.count }
+
+// Load implements RegisterArray with the two-phase ABD read: query a
+// quorum, then write the freshest value back to a quorum before returning
+// it, so that once a read returns a value no later read returns an older
+// one (atomicity).
+func (q *quorumArray) Load(i int) *snapReg {
+	best := q.nw.await(q.nw.broadcast(mpRead, q.offset+i, nil))
+	if best == nil {
+		return &snapReg{value: vector.Bottom, view: vector.New(q.count)}
+	}
+	q.nw.await(q.nw.broadcast(mpWrite, q.offset+i, best))
+	return best
+}
+
+// Store implements RegisterArray with a quorum write. Sequence numbers are
+// chosen by the single writer (the snapshot layer increments them), so no
+// timestamp round-trip is needed.
+func (q *quorumArray) Store(i int, r *snapReg) {
+	q.nw.await(q.nw.broadcast(mpWrite, q.offset+i, r))
+}

@@ -1,0 +1,64 @@
+// Package async implements the asynchronous side of the paper (Section 4):
+// the condition-based ℓ-set agreement algorithm obtained by generalizing
+// the consensus algorithm of Mostefaoui–Rajsbaum–Raynal [20] to
+// (x,ℓ)-legal conditions, running over a wait-free atomic-snapshot shared
+// memory (Afek et al. [1], the paper's reference for the view-containment
+// structure its own synchronous round 1 emulates).
+//
+// The algorithm solves ℓ-set agreement among n asynchronous processes of
+// which up to x may crash, whenever the input vector belongs to an
+// (x,ℓ)-legal condition: every view scanned from the snapshot with at most
+// x missing entries decodes (Definition 4 / Theorem 1) to between 1 and ℓ
+// values, and because atomic snapshots are totally ordered by containment,
+// the decoded sets are nested — at most ℓ values are ever decided, whatever
+// the input. Termination, as always with the condition-based approach, is
+// guaranteed only when the input belongs to the condition (or some process
+// decides and its decision is adopted); the package reports processes that
+// give up waiting, which is the executable face of the ℓ ≤ x impossibility.
+package async
+
+import (
+	"sync"
+
+	"kset/internal/vector"
+)
+
+// Snapshot is a linearizable single-writer-per-entry snapshot object: entry
+// i is written by process i+1, and Scan returns an atomic copy of the whole
+// array. Scans are totally ordered by containment because entries are
+// written at most once and grow monotonically.
+//
+// The implementation serializes operations with a mutex, which trivially
+// linearizes them; it stands in for the wait-free construction of Afek et
+// al. cited by the paper, whose interface and ordering guarantees are what
+// the algorithm relies on.
+type Snapshot struct {
+	mu   sync.Mutex
+	regs vector.Vector
+}
+
+// NewSnapshot creates a snapshot object with n entries, all ⊥.
+func NewSnapshot(n int) *Snapshot {
+	return &Snapshot{regs: vector.New(n)}
+}
+
+// Write sets entry i (0-based) to v.
+func (s *Snapshot) Write(i int, v vector.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regs[i] = v
+}
+
+// Scan returns an atomic copy of the array.
+func (s *Snapshot) Scan() vector.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regs.Clone()
+}
+
+// AnyNonBottom returns the greatest non-⊥ entry of an atomic scan, or ⊥.
+func (s *Snapshot) AnyNonBottom() vector.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.regs.Max()
+}

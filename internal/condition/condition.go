@@ -1,0 +1,176 @@
+// Package condition implements the (x,ℓ)-legality framework of Bonnet &
+// Raynal (Section 2): conditions as sets of input vectors, recognizing
+// functions h_ℓ, the validity/density/distance properties, legality checking
+// and deciding, and the Definition-4 extension of h_ℓ to views.
+//
+// A condition C is a set of input vectors over the domain {1..m}^n. C is
+// (x,ℓ)-legal when a function h_ℓ exists with:
+//
+//   - Validity:  ∀I∈C: h_ℓ(I) ⊆ val(I) and |h_ℓ(I)| = min(ℓ, |val(I)|)
+//   - Density:   ∀I∈C: Σ_{v∈h_ℓ(I)} #_v(I) > x
+//   - Distance:  ∀α∈[1,x], ∀{I_1..I_z}⊆C:
+//     d_G(I_1..I_z) ≤ x−α+1  ⟹  #_{v ∈ ∩_j h_ℓ(I_j)}(⊓_j I_j) ≥ α
+//
+// The distance property says that vectors that are close to one another
+// (small generalized distance) must share many entries holding commonly
+// decodable values; at ℓ=1 it reduces to the x-legality requirement of
+// Mostefaoui–Rajsbaum–Raynal, h(I_1) ≠ h(I_2) ⟹ d_H(I_1,I_2) > x, and the
+// out-of-range instance α = x+1 (d_G = 0, a single vector) is exactly the
+// density property, which is why the paper keeps the two separate.
+//
+// Intuitively each input vector of C is a codeword encoding up to ℓ values —
+// the values that may be decided from it — and the three properties make the
+// decoding unambiguous even when up to x entries are missing.
+package condition
+
+import (
+	"fmt"
+
+	"kset/internal/vector"
+)
+
+// Recognizer is a recognizing function h_ℓ: it maps an input vector of a
+// condition to the set of (at most ℓ) values that vector encodes.
+type Recognizer func(vector.Vector) vector.Set
+
+// MaxL returns the recognizer max_ℓ of Section 2.3: the ℓ greatest values of
+// the vector (all of them if it has fewer than ℓ distinct values).
+func MaxL(l int) Recognizer {
+	return func(i vector.Vector) vector.Set { return i.TopL(l) }
+}
+
+// MinL returns the recognizer min_ℓ: the ℓ smallest values of the vector.
+// Every Section 2.3 result holds for min_ℓ in place of max_ℓ.
+func MinL(l int) Recognizer {
+	return func(i vector.Vector) vector.Set { return i.BottomL(l) }
+}
+
+// Condition is a set of input vectors equipped with a recognizing function.
+// Implementations may be explicit (an enumerated vector set) or implicit
+// (membership decided analytically, e.g. the max_ℓ-generated conditions of
+// Theorem 2, which are far too large to enumerate at realistic n and m).
+type Condition interface {
+	// N is the vector size (number of processes).
+	N() int
+	// M is the size of the value domain V = {1..M}.
+	M() int
+	// L is the ℓ parameter: how many values a vector may encode.
+	L() int
+	// Contains reports whether the full input vector i belongs to the
+	// condition.
+	Contains(i vector.Vector) bool
+	// Recognize returns h_ℓ(i) for a member vector i. Its result is
+	// unspecified for non-members.
+	Recognize(i vector.Vector) vector.Set
+	// ForEachMember enumerates the member vectors, stopping early if fn
+	// returns false. The callback may receive a reusable buffer; Clone to
+	// retain. Implicit conditions enumerate by filtering {1..m}^n, which is
+	// only practical at small n and m.
+	ForEachMember(fn func(vector.Vector) bool)
+}
+
+// Explicit is a finite, enumerated condition with a per-vector recognizing
+// function. It is the representation used for the paper's counterexample
+// conditions (Table 1, Theorems 5, 7, 14, 15) and for user-supplied
+// conditions.
+type Explicit struct {
+	n, m, l int
+	keys    map[string]int
+	vecs    []vector.Vector
+	hs      []vector.Set
+}
+
+// NewExplicit creates an empty explicit condition over {1..m}^n with
+// parameter ℓ.
+func NewExplicit(n, m, l int) *Explicit {
+	return &Explicit{n: n, m: m, l: l, keys: make(map[string]int)}
+}
+
+// Add inserts vector i with recognized set h. It returns an error if i has
+// the wrong size, values outside {1..m} or ⊥ entries, if h violates the
+// validity property, or if i is already present with a different h.
+func (c *Explicit) Add(i vector.Vector, h vector.Set) error {
+	if len(i) != c.n {
+		return fmt.Errorf("condition: vector %v has size %d, want %d", i, len(i), c.n)
+	}
+	for _, v := range i {
+		if !v.IsProposable() || v > vector.Value(c.m) {
+			return fmt.Errorf("condition: vector %v has value %v outside {1..%d}", i, v, c.m)
+		}
+	}
+	want := c.l
+	if nv := i.Vals().Len(); nv < want {
+		want = nv
+	}
+	if h.Len() != want || !h.SubsetOf(i.Vals()) {
+		return fmt.Errorf("condition: h=%v violates (x,%d)-validity for %v", h, c.l, i)
+	}
+	if idx, ok := c.keys[i.Key()]; ok {
+		if !c.hs[idx].Equal(h) {
+			return fmt.Errorf("condition: vector %v already present with h=%v", i, c.hs[idx])
+		}
+		return nil
+	}
+	c.keys[i.Key()] = len(c.vecs)
+	c.vecs = append(c.vecs, i.Clone())
+	c.hs = append(c.hs, h.Clone())
+	return nil
+}
+
+// MustAdd is Add that panics on error; for tests and fixed constructions.
+func (c *Explicit) MustAdd(i vector.Vector, h vector.Set) {
+	if err := c.Add(i, h); err != nil {
+		panic(err)
+	}
+}
+
+// AddAuto inserts i recognized by the given Recognizer.
+func (c *Explicit) AddAuto(i vector.Vector, h Recognizer) error { return c.Add(i, h(i)) }
+
+// Size returns the number of member vectors.
+func (c *Explicit) Size() int { return len(c.vecs) }
+
+// Members returns the member vectors (shared storage; do not mutate).
+func (c *Explicit) Members() []vector.Vector { return c.vecs }
+
+// SetRecognized replaces the recognized set of an existing member.
+func (c *Explicit) SetRecognized(i vector.Vector, h vector.Set) error {
+	idx, ok := c.keys[i.Key()]
+	if !ok {
+		return fmt.Errorf("condition: %v is not a member", i)
+	}
+	c.hs[idx] = h.Clone()
+	return nil
+}
+
+// N implements Condition.
+func (c *Explicit) N() int { return c.n }
+
+// M implements Condition.
+func (c *Explicit) M() int { return c.m }
+
+// L implements Condition.
+func (c *Explicit) L() int { return c.l }
+
+// Contains implements Condition.
+func (c *Explicit) Contains(i vector.Vector) bool {
+	_, ok := c.keys[i.Key()]
+	return ok
+}
+
+// Recognize implements Condition.
+func (c *Explicit) Recognize(i vector.Vector) vector.Set {
+	if idx, ok := c.keys[i.Key()]; ok {
+		return c.hs[idx]
+	}
+	return nil
+}
+
+// ForEachMember implements Condition.
+func (c *Explicit) ForEachMember(fn func(vector.Vector) bool) {
+	for _, v := range c.vecs {
+		if !fn(v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package condition
+
+import (
+	"fmt"
+
+	"kset/internal/vector"
+)
+
+// Property identifies one of the three clauses of (x,ℓ)-legality.
+type Property int
+
+// The three (x,ℓ)-legality properties of Definition 2.
+const (
+	Validity Property = iota + 1
+	Density
+	Distance
+)
+
+// String implements fmt.Stringer.
+func (p Property) String() string {
+	switch p {
+	case Validity:
+		return "validity"
+	case Density:
+		return "density"
+	case Distance:
+		return "distance"
+	default:
+		return fmt.Sprintf("Property(%d)", int(p))
+	}
+}
+
+// Violation describes a witnessed failure of one legality property. It
+// implements error.
+type Violation struct {
+	// Property is the violated clause.
+	Property Property
+	// Vectors are the witnessing member vectors (one for validity and
+	// density; z ≥ 2 for distance).
+	Vectors []vector.Vector
+	// Alpha is the α of the violated distance instance (0 otherwise).
+	Alpha int
+	// Detail is a human-readable account of the failure.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("(x,ℓ)-%s violated: %s", v.Property, v.Detail)
+}
+
+// CheckOptions tunes Check. The zero value checks every property clause
+// exhaustively, which is exponential in the condition size for the distance
+// property (it quantifies over all subsets); cap with MaxSubsetSize for
+// larger conditions.
+type CheckOptions struct {
+	// MaxSubsetSize caps the z of the distance-property subsets
+	// {I_1..I_z}. 0 means |C| (fully exhaustive).
+	MaxSubsetSize int
+}
+
+// Check verifies that the condition c, with its own recognizing function,
+// is (x, c.L())-legal, returning a witnessed *Violation if not and nil if
+// legal. The distance property is checked over every subset of members of
+// size 2..MaxSubsetSize.
+func Check(c Condition, x int, opts CheckOptions) *Violation {
+	l := c.L()
+	var members []vector.Vector
+	c.ForEachMember(func(i vector.Vector) bool {
+		members = append(members, i.Clone())
+		return true
+	})
+
+	// Validity and density, per member.
+	for _, i := range members {
+		h := c.Recognize(i)
+		want := min(l, i.Vals().Len())
+		if h.Len() != want || !h.SubsetOf(i.Vals()) {
+			return &Violation{
+				Property: Validity,
+				Vectors:  []vector.Vector{i},
+				Detail:   fmt.Sprintf("h(%v)=%v, want %d values from val=%v", i, h, want, i.Vals()),
+			}
+		}
+		if mass := i.MassOf(h); mass <= x {
+			return &Violation{
+				Property: Density,
+				Vectors:  []vector.Vector{i},
+				Detail:   fmt.Sprintf("Σ_{v∈h(I)}#_v(I) = %d ≤ x = %d for I=%v, h=%v", mass, x, i, h),
+			}
+		}
+	}
+
+	// Distance, over subsets.
+	maxZ := opts.MaxSubsetSize
+	if maxZ <= 0 || maxZ > len(members) {
+		maxZ = len(members)
+	}
+	hs := make([]vector.Set, len(members))
+	for k, i := range members {
+		hs[k] = c.Recognize(i)
+	}
+	return checkDistanceSubsets(members, hs, x, maxZ)
+}
+
+// checkDistanceSubsets checks the distance property over every subset of
+// size 2..maxZ of the given vectors with their recognized sets.
+func checkDistanceSubsets(members []vector.Vector, hs []vector.Set, x, maxZ int) *Violation {
+	idx := make([]int, 0, maxZ)
+	var rec func(start int) *Violation
+	rec = func(start int) *Violation {
+		if len(idx) >= 2 {
+			sub := make([]vector.Vector, len(idx))
+			subH := make([]vector.Set, len(idx))
+			for k, j := range idx {
+				sub[k] = members[j]
+				subH[k] = hs[j]
+			}
+			if v := CheckDistanceInstance(sub, subH, x); v != nil {
+				return v
+			}
+		}
+		if len(idx) == maxZ {
+			return nil
+		}
+		for j := start; j < len(members); j++ {
+			idx = append(idx, j)
+			if v := rec(j + 1); v != nil {
+				return v
+			}
+			idx = idx[:len(idx)-1]
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// CheckDistanceInstance checks the distance property for one specific set of
+// vectors with their recognized sets: for every α ∈ [1,x] with
+// d_G ≤ x−α+1, the intersecting vector must hold at least α entries with
+// values of ∩_j h(I_j). Returns a Violation or nil.
+//
+// For a fixed subset the hypothesis holds exactly for α ≤ x−d_G+1, and the
+// conclusion "mass ≥ α" is monotone in α, so checking the single binding
+// instance α* = min(x, x−d_G+1) covers all of them.
+func CheckDistanceInstance(vs []vector.Vector, hs []vector.Set, x int) *Violation {
+	dg := vector.GeneralizedDistance(vs...)
+	if dg > x {
+		return nil // no α ∈ [1,x] satisfies d_G ≥ x−α+1
+	}
+	alpha := x - dg + 1
+	if alpha > x {
+		alpha = x // α ranges over [1,x]; d_G = 0 still only requires α = x
+	}
+	if alpha < 1 {
+		return nil
+	}
+	common := hs[0]
+	for _, h := range hs[1:] {
+		common = common.Intersect(h)
+	}
+	inter := vector.Intersect(vs...)
+	if got := inter.MassOf(common); got < alpha {
+		return &Violation{
+			Property: Distance,
+			Vectors:  vs,
+			Alpha:    alpha,
+			Detail: fmt.Sprintf(
+				"d_G=%d ≥ x−α+1=%d but ⊓ holds only %d entries of ∩h=%v (need ≥ α=%d)",
+				dg, x-alpha+1, got, common, alpha),
+		}
+	}
+	return nil
+}
+
+// ExistsRecognizer searches for any recognizing function making the
+// enumerated condition (x,ℓ)-legal, by backtracking over the candidate
+// recognized sets of each member with pairwise distance pruning and a full
+// subset check on completion. It returns the witness assignment (parallel to
+// Members()) when one exists. The search is exponential; it is intended for
+// the small counterexample conditions of Section 3 and Appendix B.
+func ExistsRecognizer(c *Explicit, x int) ([]vector.Set, bool) {
+	members := c.Members()
+	l := c.L()
+
+	// Candidate h-sets per member: subsets of val(I) of size min(ℓ,|val|)
+	// whose mass exceeds x (validity + density pre-filter).
+	cands := make([][]vector.Set, len(members))
+	for k, i := range members {
+		vals := i.Vals()
+		size := min(l, vals.Len())
+		subsets := kSubsets(vals, size)
+		for _, s := range subsets {
+			if i.MassOf(s) > x {
+				cands[k] = append(cands[k], s)
+			}
+		}
+		if len(cands[k]) == 0 {
+			return nil, false
+		}
+	}
+
+	assign := make([]vector.Set, len(members))
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(members) {
+			return checkDistanceSubsets(members, assign, x, len(members)) == nil
+		}
+		for _, s := range cands[k] {
+			assign[k] = s
+			ok := true
+			// Prune: pairwise distance instances against assigned members.
+			for j := 0; j < k && ok; j++ {
+				ok = CheckDistanceInstance(
+					[]vector.Vector{members[j], members[k]},
+					[]vector.Set{assign[j], assign[k]}, x) == nil
+			}
+			if ok && rec(k+1) {
+				return true
+			}
+		}
+		assign[k] = nil
+		return false
+	}
+	if rec(0) {
+		return assign, true
+	}
+	return nil, false
+}
+
+// kSubsets returns every subset of s with exactly k elements.
+func kSubsets(s vector.Set, k int) []vector.Set {
+	var out []vector.Set
+	cur := make(vector.Set, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			out = append(out, cur.Clone())
+			return
+		}
+		for i := start; i < len(s); i++ {
+			cur = append(cur, s[i])
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+// ClassicalProcess is the classical synchronous k-set agreement algorithm
+// (Chaudhuri et al.): flood the largest value seen and decide it at round
+// ⌊t/k⌋ + 1. It is the baseline the paper's algorithm collapses to when
+// instantiated with d = t and ℓ = 1, and the comparison point for every
+// round-complexity experiment.
+//
+// (Flooding max rather than the more customary min keeps the decision rule
+// aligned with the condition-based algorithm, which decides max values;
+// either choice satisfies the specification.)
+type ClassicalProcess struct {
+	n, t, k   int
+	est       vector.Value
+	lastRound int
+}
+
+var _ rounds.Process = (*ClassicalProcess)(nil)
+
+// NewClassicalRun builds the n baseline protocol instances for the input
+// vector.
+func NewClassicalRun(n, t, k int, input vector.Vector) ([]rounds.Process, error) {
+	if n < 2 || t < 1 || t >= n || k < 1 {
+		return nil, fmt.Errorf("core: classical: bad parameters n=%d t=%d k=%d", n, t, k)
+	}
+	if len(input) != n || !input.IsFull() {
+		return nil, fmt.Errorf("core: classical: bad input vector %v", input)
+	}
+	procs := make([]rounds.Process, n)
+	for i := 0; i < n; i++ {
+		procs[i] = &ClassicalProcess{n: n, t: t, k: k, est: input[i], lastRound: t/k + 1}
+	}
+	return procs, nil
+}
+
+// Send implements rounds.Process.
+func (c *ClassicalProcess) Send(int) any { return c.est }
+
+// Step implements rounds.Process.
+func (c *ClassicalProcess) Step(round int, recv []any) (vector.Value, bool) {
+	for _, payload := range recv {
+		if payload == nil {
+			continue
+		}
+		if v := payload.(vector.Value); v > c.est {
+			c.est = v
+		}
+	}
+	if round >= c.lastRound {
+		return c.est, true
+	}
+	return vector.Bottom, false
+}
+
+// RunClassical executes the baseline to completion.
+func RunClassical(n, t, k int, input vector.Vector, fp rounds.FailurePattern, concurrent bool) (*rounds.Result, error) {
+	procs, err := NewClassicalRun(n, t, k, input)
+	if err != nil {
+		return nil, err
+	}
+	return rounds.Run(procs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent})
+}

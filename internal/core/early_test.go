@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kset/internal/adversary"
+	"kset/internal/condition"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+func TestEarlyBound(t *testing.T) {
+	tests := []struct {
+		t, k, f, want int
+	}{
+		{6, 1, 0, 2}, {6, 1, 3, 5}, {6, 1, 6, 7},
+		{6, 2, 0, 2}, {6, 2, 5, 4}, {6, 2, 6, 4},
+		{6, 3, 6, 3}, {2, 3, 1, 1},
+	}
+	for _, tc := range tests {
+		if got := EarlyBound(tc.t, tc.k, tc.f); got != tc.want {
+			t.Errorf("EarlyBound(t=%d,k=%d,f=%d) = %d, want %d", tc.t, tc.k, tc.f, got, tc.want)
+		}
+	}
+}
+
+// TestEarlyClassicalFailureFree: with no crashes the early baseline decides
+// in 2 rounds instead of ⌊t/k⌋+1.
+func TestEarlyClassicalFailureFree(t *testing.T) {
+	n, tt, k := 7, 6, 1
+	input := vector.OfInts(1, 2, 3, 4, 5, 6, 7)
+	res, err := RunEarlyClassical(n, tt, k, input, adversary.None(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := Verify(input, adversary.None(), res, k)
+	if !verdict.OK() {
+		t.Fatal(verdict)
+	}
+	if verdict.MaxRound != 2 {
+		t.Errorf("decided at %d, want 2 (t+1 would be %d)", verdict.MaxRound, tt+1)
+	}
+}
+
+// TestEarlyClassicalExhaustive model-checks the early-deciding baseline:
+// agreement, validity, termination and the min(⌊f/k⌋+2, ⌊t/k⌋+1) bound over
+// every prefix-send failure pattern.
+func TestEarlyClassicalExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check")
+	}
+	for _, cfg := range []struct{ n, t, k, m int }{
+		{4, 2, 1, 2}, {4, 3, 1, 2}, {4, 3, 2, 2}, {4, 2, 2, 3},
+	} {
+		runs := 0
+		vector.ForEach(cfg.n, cfg.m, func(in vector.Vector) bool {
+			input := in.Clone()
+			err := adversary.Enumerate(cfg.n, cfg.t, cfg.t/cfg.k+1, func(fp rounds.FailurePattern) bool {
+				res, err := RunEarlyClassical(cfg.n, cfg.t, cfg.k, input, fp, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				verdict := Verify(input, fp, res, cfg.k)
+				if !verdict.OK() {
+					t.Fatalf("cfg %+v input %v fp %+v: %v", cfg, input, fp.Crashes, verdict)
+				}
+				if bound := EarlyBound(cfg.t, cfg.k, fp.NumCrashes()); verdict.MaxRound > bound {
+					t.Fatalf("cfg %+v input %v fp %+v: decided at %d > early bound %d",
+						cfg, input, fp.Crashes, verdict.MaxRound, bound)
+				}
+				runs++
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		t.Logf("cfg %+v: %d executions verified", cfg, runs)
+	}
+}
+
+// TestEarlyCondExhaustive model-checks the early-deciding condition-based
+// algorithm: all three agreement properties plus both round bounds (the
+// Figure-2 bounds and the early bound) in every execution.
+func TestEarlyCondExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check")
+	}
+	configs := []struct {
+		p Params
+		m int
+	}{
+		{Params{N: 4, T: 2, K: 2, D: 1, L: 1}, 2},
+		{Params{N: 4, T: 3, K: 2, D: 1, L: 1}, 2},
+		{Params{N: 4, T: 3, K: 1, D: 1, L: 1}, 2},
+		{Params{N: 4, T: 2, K: 2, D: 1, L: 2}, 3},
+	}
+	for _, cfg := range configs {
+		p := cfg.p
+		c := condition.MustNewMax(p.N, cfg.m, p.X(), p.L)
+		runs := 0
+		vector.ForEach(p.N, cfg.m, func(in vector.Vector) bool {
+			input := in.Clone()
+			inC := c.Contains(input)
+			err := adversary.Enumerate(p.N, p.T, p.RMax(), func(fp rounds.FailurePattern) bool {
+				res, err := RunEarly(p, c, input, fp, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				verdict := Verify(input, fp, res, p.K)
+				if !verdict.OK() {
+					t.Fatalf("cfg %+v input %v (inC=%v) fp %+v: %v", p, input, inC, fp.Crashes, verdict)
+				}
+				// The stability guard costs one round over the classical
+				// early bound: measured bound min(plain, ⌊f/k⌋+3).
+				bound := PredictRounds(p, inC, fp)
+				if eb := fp.NumCrashes()/p.K + 3; eb < bound {
+					bound = eb
+				}
+				if verdict.MaxRound > bound {
+					t.Fatalf("cfg %+v input %v (inC=%v) fp %+v: decided at %d > bound %d",
+						p, input, inC, fp.Crashes, verdict.MaxRound, bound)
+				}
+				runs++
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		t.Logf("cfg %+v m=%d: %d executions verified", p, cfg.m, runs)
+	}
+}
+
+// TestEarlyCondNeverSlower: the early extension decides no later than the
+// plain algorithm, run for run.
+func TestEarlyCondNeverSlower(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	p := Params{N: 6, T: 4, K: 2, D: 2, L: 1}
+	c := condition.MustNewMax(p.N, 3, p.X(), p.L)
+	for trial := 0; trial < 200; trial++ {
+		input := vector.New(p.N)
+		for i := range input {
+			input[i] = vector.Value(1 + r.Intn(3))
+		}
+		fp := adversary.Random(r, p.N, p.T, p.RMax())
+		plain, err := Run(p, c, input, fp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		early, err := RunEarly(p, c, input, fp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if early.MaxDecisionRound() > plain.MaxDecisionRound() {
+			t.Fatalf("early %d > plain %d for input %v fp %+v",
+				early.MaxDecisionRound(), plain.MaxDecisionRound(), input, fp.Crashes)
+		}
+		if v := Verify(input, fp, early, p.K); !v.OK() {
+			t.Fatalf("input %v fp %+v: %v", input, fp.Crashes, v)
+		}
+	}
+}
+
+func TestEarlyErrors(t *testing.T) {
+	if _, err := NewEarlyClassicalRun(1, 1, 1, vector.OfInts(1)); err == nil {
+		t.Error("want error")
+	}
+	if _, err := NewEarlyClassicalRun(4, 2, 1, vector.OfInts(1, 2, 3)); err == nil {
+		t.Error("want error for short input")
+	}
+	p := Params{N: 4, T: 2, K: 2, D: 5, L: 1}
+	if _, err := NewEarlyRun(p, condition.MustNewMax(4, 2, 1, 1), vector.OfInts(1, 1, 1, 1)); err == nil {
+		t.Error("want error for invalid params")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

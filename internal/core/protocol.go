@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"kset/internal/condition"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+// StateMsg is the triple a process floods from round 2 on: its current
+// candidate decision values from the condition branch, the
+// outside-the-condition branch, and the too-many-failures branch. The
+// paper's priority for deciding is Cond > Tmf > Out.
+type StateMsg struct {
+	Cond, Out, Tmf vector.Value
+}
+
+// String implements fmt.Stringer (used by execution traces).
+func (s StateMsg) String() string {
+	return fmt.Sprintf("(cond=%v tmf=%v out=%v)", s.Cond, s.Tmf, s.Out)
+}
+
+// CondProcess is one process of the Figure-2 condition-based synchronous
+// k-set agreement algorithm. Create the n processes of a run with NewRun.
+type CondProcess struct {
+	id   rounds.ProcessID
+	p    Params
+	cond condition.Condition
+
+	proposal vector.Value
+	view     vector.Vector
+	vCond    vector.Value
+	vOut     vector.Value
+	vTmf     vector.Value
+}
+
+var _ rounds.Process = (*CondProcess)(nil)
+
+// NewRun builds the n protocol instances for input vector input (entry i
+// is p_{i+1}'s proposal; it must be a full vector of proposable values).
+func NewRun(p Params, c condition.Condition, input vector.Vector) ([]rounds.Process, error) {
+	if err := p.ValidateWith(c); err != nil {
+		return nil, err
+	}
+	if len(input) != p.N {
+		return nil, fmt.Errorf("core: input vector has %d entries, want %d", len(input), p.N)
+	}
+	if !input.IsFull() {
+		return nil, fmt.Errorf("core: input vector %v has ⊥ entries", input)
+	}
+	procs := make([]rounds.Process, p.N)
+	for i := 0; i < p.N; i++ {
+		procs[i] = &CondProcess{
+			id:       rounds.ProcessID(i + 1),
+			p:        p,
+			cond:     c,
+			proposal: input[i],
+			view:     vector.New(p.N),
+		}
+	}
+	return procs, nil
+}
+
+// Send implements rounds.Process: round 1 broadcasts the proposal (the
+// engine enforces the fixed p_1..p_n order that makes views
+// containment-ordered); later rounds broadcast the state triple.
+func (c *CondProcess) Send(round int) any {
+	if round == 1 {
+		return c.proposal
+	}
+	return StateMsg{Cond: c.vCond, Out: c.vOut, Tmf: c.vTmf}
+}
+
+// Step implements rounds.Process: the compute phases of Figure 2.
+func (c *CondProcess) Step(round int, recv []any) (vector.Value, bool) {
+	if round == 1 {
+		c.stepFirstRound(recv)
+		return vector.Bottom, false
+	}
+	return c.stepFloodRound(round, recv)
+}
+
+// stepFirstRound is lines 4–9: build the view V_i and classify it.
+func (c *CondProcess) stepFirstRound(recv []any) {
+	for j, payload := range recv {
+		if payload != nil {
+			c.view[j] = payload.(vector.Value)
+		}
+	}
+	if c.view.BottomCount() <= c.p.X() {
+		if condition.Predicate(c.cond, c.view) {
+			// Line 6: the input vector may belong to the condition; decode
+			// a candidate value from the view (Definition 4 / Theorem 1).
+			if h, ok := condition.DecodeView(c.cond, c.view); ok && !h.Empty() {
+				c.vCond = h.Max()
+				return
+			}
+			// Unreachable for conditions whose P agrees with Contains and
+			// that are (t−d,ℓ)-legal; degrade to the out branch so that
+			// validity and termination survive a misbehaving condition.
+		}
+		// Line 7: the view proves the input vector is outside C.
+		c.vOut = c.view.Max()
+		return
+	}
+	// Line 8: too many failures witnessed to tell.
+	c.vTmf = c.view.Max()
+}
+
+// stepFloodRound is lines 13–22 for rounds 2..⌊t/k⌋+1. The payload of this
+// round was already sent (line 13); deciding at line 14 therefore uses the
+// value as sent, before merging this round's received states.
+func (c *CondProcess) stepFloodRound(round int, recv []any) (vector.Value, bool) {
+	if c.vCond != vector.Bottom {
+		return c.vCond, true // line 14
+	}
+	// Lines 15–17: max-merge received states (the sender's own message is
+	// always among them while it is alive).
+	for _, payload := range recv {
+		if payload == nil {
+			continue
+		}
+		s := payload.(StateMsg)
+		c.vCond = maxValue(c.vCond, s.Cond)
+		c.vOut = maxValue(c.vOut, s.Out)
+		c.vTmf = maxValue(c.vTmf, s.Tmf)
+	}
+	// Line 18: decide at the condition round (when some process witnessed
+	// more than t−d crashes and none disproved the condition) or at the
+	// classical last round.
+	if (round == c.p.RCond() && c.vTmf != vector.Bottom && c.vOut == vector.Bottom) ||
+		round == c.p.RMax() {
+		switch {
+		case c.vCond != vector.Bottom:
+			return c.vCond, true // line 19
+		case c.vTmf != vector.Bottom:
+			return c.vTmf, true // line 20
+		default:
+			return c.vOut, true // line 21
+		}
+	}
+	return vector.Bottom, false
+}
+
+func maxValue(a, b vector.Value) vector.Value {
+	if a >= b {
+		return a
+	}
+	return b
+}
+
+// Run executes one complete instance of the algorithm and returns the
+// engine result. It is a convenience wrapper over rounds.Run with the
+// protocol's own round bound.
+func Run(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool) (*rounds.Result, error) {
+	procs, err := NewRun(p, c, input)
+	if err != nil {
+		return nil, err
+	}
+	return rounds.Run(procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
+}

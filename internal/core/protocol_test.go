@@ -1,0 +1,414 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kset/internal/adversary"
+	"kset/internal/condition"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"ok", Params{N: 5, T: 2, K: 2, D: 1, L: 1}, false},
+		{"consensus", Params{N: 4, T: 3, K: 1, D: 2, L: 1}, false},
+		{"n too small", Params{N: 1, T: 0, K: 1, D: 0, L: 1}, true},
+		{"t zero", Params{N: 4, T: 0, K: 1, D: 0, L: 1}, true},
+		{"t = n", Params{N: 4, T: 4, K: 1, D: 1, L: 1}, true},
+		{"k zero", Params{N: 4, T: 2, K: 0, D: 1, L: 1}, true},
+		{"l zero", Params{N: 4, T: 2, K: 2, D: 1, L: 0}, true},
+		{"l > k", Params{N: 4, T: 2, K: 1, D: 1, L: 2}, true},
+		{"d negative", Params{N: 4, T: 2, K: 2, D: -1, L: 1}, true},
+		{"d > t", Params{N: 4, T: 2, K: 2, D: 3, L: 1}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); (err != nil) != tc.wantErr {
+				t.Errorf("Validate(%+v) = %v, wantErr %v", tc.p, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRoundFormulas pins the reconstructed bounds to the paper's special
+// cases.
+func TestRoundFormulas(t *testing.T) {
+	tests := []struct {
+		name        string
+		p           Params
+		rCond, rMax int
+	}{
+		// k = ℓ = 1: condition-based consensus decides in d+1 rounds [22].
+		{"consensus d=3", Params{N: 8, T: 5, K: 1, D: 3, L: 1}, 4, 6},
+		{"consensus d=1", Params{N: 8, T: 5, K: 1, D: 1, L: 1}, 2, 6},
+		// d = 0: two rounds (clamp), matching "two rounds when d ≤ 1".
+		{"consensus d=0", Params{N: 8, T: 5, K: 1, D: 0, L: 1}, 2, 6},
+		// d = t, ℓ = 1: the classical ⌊t/k⌋+1 bound.
+		{"classical k=2", Params{N: 9, T: 6, K: 2, D: 6, L: 1}, 4, 4},
+		{"classical k=3", Params{N: 9, T: 6, K: 3, D: 6, L: 1}, 3, 3},
+		// Generic: ⌊(d+ℓ−1)/k⌋+1.
+		{"generic", Params{N: 10, T: 7, K: 2, D: 4, L: 2}, 3, 4},
+		{"dividing by k", Params{N: 12, T: 9, K: 3, D: 6, L: 2}, 3, 4},
+		// k > d+ℓ−1: clamp to 2.
+		{"clamp", Params{N: 10, T: 6, K: 5, D: 2, L: 1}, 2, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.RCond(); got != tc.rCond {
+				t.Errorf("RCond = %d, want %d", got, tc.rCond)
+			}
+			if got := tc.p.RMax(); got != tc.rMax {
+				t.Errorf("RMax = %d, want %d", got, tc.rMax)
+			}
+		})
+	}
+	p := Params{N: 8, T: 5, K: 2, D: 2, L: 1}
+	if !p.ConditionHelps() {
+		t.Error("ℓ=1 ≤ t−d=3 must help")
+	}
+	if (Params{N: 8, T: 5, K: 2, D: 5, L: 1}).ConditionHelps() {
+		t.Error("ℓ=1 > t−d=0 must not help")
+	}
+}
+
+func TestNewRunErrors(t *testing.T) {
+	p := Params{N: 4, T: 2, K: 2, D: 1, L: 1}
+	c := condition.MustNewMax(4, 3, p.X(), 1)
+	if _, err := NewRun(p, c, vector.OfInts(1, 2, 3)); err == nil {
+		t.Error("want error for short input")
+	}
+	if _, err := NewRun(p, c, vector.OfInts(1, 2, 0, 3)); err == nil {
+		t.Error("want error for ⊥ input")
+	}
+	if _, err := NewRun(p, nil, vector.OfInts(1, 2, 3, 3)); err == nil {
+		t.Error("want error for nil condition")
+	}
+	wrongL := condition.MustNewMax(4, 3, p.X(), 2)
+	if _, err := NewRun(p, wrongL, vector.OfInts(1, 2, 3, 3)); err == nil {
+		t.Error("want error for ℓ mismatch")
+	}
+	wrongN := condition.MustNewMax(5, 3, p.X(), 1)
+	if _, err := NewRun(p, wrongN, vector.OfInts(1, 2, 3, 3)); err == nil {
+		t.Error("want error for n mismatch")
+	}
+}
+
+// TestLemma1FastPath: input ∈ C and no more than t−d crashes by the end of
+// round 1 ⟹ every correct process decides in exactly two rounds on a
+// condition value.
+func TestLemma1FastPath(t *testing.T) {
+	p := Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	c := condition.MustNewMax(p.N, 4, p.X(), p.L)
+	input := vector.OfInts(4, 4, 4, 2, 1, 2) // top value 4 occupies 3 > x=2 entries
+	if !c.Contains(input) {
+		t.Fatal("input must be in C")
+	}
+	for _, fp := range []rounds.FailurePattern{
+		adversary.None(),
+		adversary.InitialLast(p.N, 2),
+		{Crashes: map[rounds.ProcessID]rounds.Crash{2: {Round: 1, AfterSends: 3}}},
+	} {
+		res, err := Run(p, c, input, fp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdict := Verify(input, fp, res, p.K)
+		if !verdict.OK() {
+			t.Fatalf("fp=%+v: %v", fp, verdict)
+		}
+		if verdict.MaxRound != 2 {
+			t.Errorf("fp=%+v: decided at round %d, want 2", fp, verdict.MaxRound)
+		}
+		// The decided value comes from the condition: it is input's max.
+		if !verdict.Distinct.Equal(vector.SetOf(4)) {
+			t.Errorf("fp=%+v: decided %v, want {4}", fp, verdict.Distinct)
+		}
+	}
+}
+
+// TestLemma1SlowPath: input ∈ C with more than t−d round-1 crashes still
+// decides by RCond.
+func TestLemma1SlowPath(t *testing.T) {
+	p := Params{N: 6, T: 4, K: 2, D: 2, L: 1}
+	c := condition.MustNewMax(p.N, 4, p.X(), p.L)
+	input := vector.OfInts(4, 4, 4, 4, 1, 2)
+	if !c.Contains(input) {
+		t.Fatal("input must be in C")
+	}
+	// x = 2; crash 3 processes in round 1 with staggered prefixes so some
+	// survivor sees > 2 bottoms.
+	fp := adversary.Stagger(p.N, 3, 3, 0, p.RMax())
+	res, err := Run(p, c, input, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := Verify(input, fp, res, p.K)
+	if !verdict.OK() {
+		t.Fatalf("%v", verdict)
+	}
+	if verdict.MaxRound > p.RCond() {
+		t.Errorf("decided at round %d, want ≤ RCond=%d", verdict.MaxRound, p.RCond())
+	}
+}
+
+// TestLemma2: input ∉ C decides by RMax; with more than t−d initial
+// crashes it decides by RCond.
+func TestLemma2(t *testing.T) {
+	p := Params{N: 6, T: 4, K: 2, D: 2, L: 1}
+	c := condition.MustNewMax(p.N, 4, p.X(), p.L)
+	input := vector.OfInts(4, 3, 2, 1, 1, 2) // max occupies 1 ≤ x entries
+	if c.Contains(input) {
+		t.Fatal("input must be outside C")
+	}
+
+	res, err := Run(p, c, input, adversary.None(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := Verify(input, adversary.None(), res, p.K)
+	if !verdict.OK() {
+		t.Fatalf("%v", verdict)
+	}
+	if verdict.MaxRound != p.RMax() {
+		t.Errorf("failure-free out-of-C decision at round %d, want RMax=%d", verdict.MaxRound, p.RMax())
+	}
+
+	fp := adversary.InitialLast(p.N, 3) // > x = 2 initial crashes
+	res, err = Run(p, c, input, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict = Verify(input, fp, res, p.K)
+	if !verdict.OK() {
+		t.Fatalf("%v", verdict)
+	}
+	if verdict.MaxRound > p.RCond() {
+		t.Errorf("initial-crash out-of-C decision at round %d, want ≤ RCond=%d", verdict.MaxRound, p.RCond())
+	}
+}
+
+// TestConsensusSpecialCase: k = ℓ = 1 must solve consensus in d+1 rounds
+// when the input is in the condition (the [22] behavior).
+func TestConsensusSpecialCase(t *testing.T) {
+	p := Params{N: 5, T: 3, K: 1, D: 2, L: 1}
+	c := condition.MustNewMax(p.N, 3, p.X(), p.L)
+	input := vector.OfInts(3, 3, 1, 2, 1)
+	if !c.Contains(input) {
+		t.Fatal("input must be in C")
+	}
+	fp := adversary.Stagger(p.N, p.T, 2, 1, p.RMax())
+	res, err := Run(p, c, input, fp, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdict := Verify(input, fp, res, 1)
+	if !verdict.OK() {
+		t.Fatalf("%v", verdict)
+	}
+	if verdict.MaxRound > p.RCond() {
+		t.Errorf("decided at %d, want ≤ d+1 = %d", verdict.MaxRound, p.RCond())
+	}
+}
+
+// TestExhaustiveSmall model-checks the algorithm over every prefix-send
+// failure pattern and every input vector of a small configuration:
+// termination, validity, agreement and the Theorem-10 round bounds must
+// hold in every execution.
+func TestExhaustiveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check")
+	}
+	configs := []struct {
+		p Params
+		m int
+	}{
+		{Params{N: 4, T: 2, K: 2, D: 1, L: 1}, 2},
+		{Params{N: 4, T: 3, K: 2, D: 1, L: 1}, 2},
+		{Params{N: 4, T: 2, K: 2, D: 1, L: 2}, 3},
+		{Params{N: 4, T: 3, K: 3, D: 2, L: 2}, 2},
+	}
+	for _, cfg := range configs {
+		p := cfg.p
+		c := condition.MustNewMax(p.N, cfg.m, p.X(), p.L)
+		runs := 0
+		vector.ForEach(p.N, cfg.m, func(in vector.Vector) bool {
+			input := in.Clone()
+			inC := c.Contains(input)
+			err := adversary.Enumerate(p.N, p.T, p.RMax(), func(fp rounds.FailurePattern) bool {
+				res, err := Run(p, c, input, fp, false)
+				if err != nil {
+					t.Fatalf("cfg %+v input %v: %v", p, input, err)
+				}
+				verdict := Verify(input, fp, res, p.K)
+				if !verdict.OK() {
+					t.Fatalf("cfg %+v input %v (inC=%v) fp %+v: %v", p, input, inC, fp.Crashes, verdict)
+				}
+				if bound := PredictRounds(p, inC, fp); verdict.MaxRound > bound {
+					t.Fatalf("cfg %+v input %v (inC=%v) fp %+v: decided at %d > bound %d",
+						p, input, inC, fp.Crashes, verdict.MaxRound, bound)
+				}
+				runs++
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return true
+		})
+		t.Logf("cfg %+v m=%d: %d executions verified", p, cfg.m, runs)
+	}
+}
+
+// TestPropertyRandomRuns fuzzes larger configurations with random inputs
+// and adversaries, on both executors.
+func TestPropertyRandomRuns(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + r.Intn(5)
+		tt := 1 + r.Intn(n-1)
+		k := 1 + r.Intn(3)
+		l := 1 + r.Intn(k)
+		d := r.Intn(tt + 1)
+		p := Params{N: n, T: tt, K: k, D: d, L: l}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated invalid params %+v: %v", p, err)
+		}
+		m := 2 + r.Intn(3)
+		c := condition.MustNewMax(n, m, p.X(), l)
+		input := vector.New(n)
+		for i := range input {
+			input[i] = vector.Value(1 + r.Intn(m))
+		}
+		fp := adversary.Random(r, n, tt, p.RMax())
+		res, err := Run(p, c, input, fp, trial%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdict := Verify(input, fp, res, k)
+		if !verdict.OK() {
+			t.Fatalf("params %+v m=%d input %v fp %+v: %v", p, m, input, fp.Crashes, verdict)
+		}
+		if bound := PredictRounds(p, c.Contains(input), fp); verdict.MaxRound > bound {
+			t.Fatalf("params %+v input %v fp %+v: round %d > bound %d",
+				p, input, fp.Crashes, verdict.MaxRound, bound)
+		}
+	}
+}
+
+// TestExecutorsAgree runs identical scenarios on the sequential and
+// concurrent executors and requires identical outcomes.
+func TestExecutorsAgree(t *testing.T) {
+	p := Params{N: 6, T: 3, K: 2, D: 2, L: 2}
+	c := condition.MustNewMax(p.N, 3, p.X(), p.L)
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		input := vector.New(p.N)
+		for i := range input {
+			input[i] = vector.Value(1 + r.Intn(3))
+		}
+		fp := adversary.Random(r, p.N, p.T, p.RMax())
+		seq, err := Run(p, c, input, fp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		con, err := Run(p, c, input, fp, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq.Decisions) != len(con.Decisions) {
+			t.Fatalf("decision counts differ: %v vs %v", seq.Decisions, con.Decisions)
+		}
+		for id, v := range seq.Decisions {
+			if con.Decisions[id] != v {
+				t.Fatalf("p%d: sequential %v, concurrent %v", id, v, con.Decisions[id])
+			}
+			if seq.DecisionRound[id] != con.DecisionRound[id] {
+				t.Fatalf("p%d: rounds differ", id)
+			}
+		}
+	}
+}
+
+func TestClassicalBaseline(t *testing.T) {
+	n, tt, k := 6, 4, 2
+	input := vector.OfInts(1, 5, 2, 4, 3, 1)
+	for _, fp := range []rounds.FailurePattern{
+		adversary.None(),
+		adversary.Stagger(n, tt, 2, 1, tt/k+1),
+	} {
+		res, err := RunClassical(n, tt, k, input, fp, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdict := Verify(input, fp, res, k)
+		if !verdict.OK() {
+			t.Fatalf("fp=%+v: %v", fp.Crashes, verdict)
+		}
+		if verdict.MaxRound != tt/k+1 {
+			t.Errorf("classical decided at %d, want exactly ⌊t/k⌋+1 = %d", verdict.MaxRound, tt/k+1)
+		}
+	}
+	if _, err := NewClassicalRun(1, 1, 1, vector.OfInts(1)); err == nil {
+		t.Error("want error for n too small")
+	}
+	if _, err := NewClassicalRun(4, 2, 2, vector.OfInts(1, 0, 1, 1)); err == nil {
+		t.Error("want error for ⊥ input")
+	}
+}
+
+// TestClassicalExhaustive model-checks the baseline too.
+func TestClassicalExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check")
+	}
+	n, tt, k, m := 4, 2, 2, 2
+	vector.ForEach(n, m, func(in vector.Vector) bool {
+		input := in.Clone()
+		err := adversary.Enumerate(n, tt, tt/k+1, func(fp rounds.FailurePattern) bool {
+			res, err := RunClassical(n, tt, k, input, fp, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verdict := Verify(input, fp, res, k); !verdict.OK() {
+				t.Fatalf("input %v fp %+v: %v", input, fp.Crashes, verdict)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+}
+
+func TestVerifyReportsViolations(t *testing.T) {
+	input := vector.OfInts(1, 2, 3)
+	res := &rounds.Result{
+		Decisions:     map[rounds.ProcessID]vector.Value{1: 1, 2: 9, 3: 2},
+		DecisionRound: map[rounds.ProcessID]int{1: 2, 2: 2, 3: 3},
+	}
+	v := Verify(input, rounds.FailurePattern{}, res, 1)
+	if v.Validity {
+		t.Error("validity must fail (9 not proposed)")
+	}
+	if v.Agreement {
+		t.Error("agreement must fail (3 values > k=1)")
+	}
+	if !v.Termination {
+		t.Error("termination holds (everyone decided)")
+	}
+	if v.OK() || v.String() == "" {
+		t.Error("verdict misreported")
+	}
+	res2 := &rounds.Result{Decisions: map[rounds.ProcessID]vector.Value{}, DecisionRound: map[rounds.ProcessID]int{}}
+	v2 := Verify(input, rounds.FailurePattern{}, res2, 1)
+	if v2.Termination {
+		t.Error("termination must fail (nobody decided)")
+	}
+}

@@ -1,0 +1,63 @@
+package count
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickParams derives a small valid (n, m, x, ℓ) tuple from a seed.
+func quickParams(seed int64) (n, m, x, l int) {
+	r := rand.New(rand.NewSource(seed))
+	n = 2 + r.Intn(4)
+	m = 1 + r.Intn(4)
+	x = r.Intn(n)
+	l = 1 + r.Intn(3)
+	return n, m, x, l
+}
+
+// Property: NB equals brute force on random small parameters.
+func TestQuickNBEqualsBruteForce(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(71))}
+	f := func(seed int64) bool {
+		n, m, x, l := quickParams(seed)
+		return MustNB(n, m, x, l).Int64() == BruteForce(n, m, x, l)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: 0 ≤ NB ≤ m^n, with equality to m^n iff ℓ > x or ℓ ≥ m.
+func TestQuickNBBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(72))}
+	f := func(seed int64) bool {
+		n, m, x, l := quickParams(seed)
+		nb := MustNB(n, m, x, l)
+		total := new(big.Int).Exp(big.NewInt(int64(m)), big.NewInt(int64(n)), nil)
+		if nb.Sign() < 0 || nb.Cmp(total) > 0 {
+			return false
+		}
+		return (nb.Cmp(total) == 0) == (l > x || l >= m)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NB is monotone non-increasing in x and non-decreasing in ℓ.
+func TestQuickNBMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(73))}
+	f := func(seed int64) bool {
+		n, m, x, l := quickParams(seed)
+		nb := MustNB(n, m, x, l)
+		if x+1 < n && MustNB(n, m, x+1, l).Cmp(nb) > 0 {
+			return false
+		}
+		return MustNB(n, m, x, l+1).Cmp(nb) >= 0
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package experiments regenerates every evaluation artifact of the paper
+// (see DESIGN.md's experiment index): the Figure-1 lattice, the Table-1
+// counterexample, the NB(x,ℓ) condition sizes, the round-complexity
+// claims of Theorem 10 and Lemmas 1–2, the size/speed tradeoff, the
+// dividing power of k, the early-deciding extension, baseline comparisons,
+// worst-case tightness, and the asynchronous algorithm. Each experiment
+// returns a human-readable report whose tables mirror what the paper
+// states; cmd/experiments prints them and EXPERIMENTS.md records them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"kset/internal/adversary"
+	"kset/internal/condition"
+	"kset/internal/core"
+	"kset/internal/count"
+	"kset/internal/lattice"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	// ID is the experiment identifier (E1..E10).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Body is the rendered report.
+	Body string
+	// OK reports whether every checked claim held.
+	OK bool
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	status := "VERIFIED"
+	if !r.OK {
+		status = "FAILED"
+	}
+	return fmt.Sprintf("=== %s: %s [%s]\n%s", r.ID, r.Title, status, r.Body)
+}
+
+// E1Lattice verifies and renders the Figure-1 inclusion lattice of the
+// sets of (x,ℓ)-legal conditions over {1..m}^n.
+func E1Lattice(n, m, xMax, lMax int) Report {
+	r := Report{ID: "E1", Title: "Figure 1 — the lattice of (x,ℓ)-legal condition sets", OK: true}
+	facts, err := lattice.VerifyFigure1(n, m, xMax, lMax)
+	if err != nil {
+		return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "domain {1..%d}^%d\n%s\n", m, n, lattice.Render(facts))
+	fmt.Fprintf(&b, "%-8s %-6s %-6s %-6s %-6s %-10s %s\n",
+		"cell", "thm4", "thm5", "thm6", "thm7", "C_all", "skipped")
+	for _, f := range facts {
+		if !f.Verified() {
+			r.OK = false
+		}
+		allCell := fmt.Sprintf("%v(want %v)", f.AllLegal, f.AllExpected)
+		fmt.Fprintf(&b, "(%d,%d)    %-6v %-6v %-6v %-6v %-10s %s\n",
+			f.X, f.L, f.UpInclusion, f.UpStrict, f.RightInclusion, f.RightStrict,
+			allCell, strings.Join(f.Skipped, "; "))
+	}
+	r.Body = b.String()
+	return r
+}
+
+// E2Table1 reproduces Table 1 and both Appendix-B diagonals (Theorems 14
+// and 15).
+func E2Table1() Report {
+	r := Report{ID: "E2", Title: "Table 1 + Theorems 14/15 — (x,ℓ) vs (x+1,ℓ+1) incomparability", OK: true}
+	var b strings.Builder
+
+	c := lattice.Table1Condition()
+	b.WriteString("Table 1 condition (a,b,c,d = 1,2,3,4):\n")
+	for k, i := range c.Members() {
+		fmt.Fprintf(&b, "  I%d = %v   h_1(I%d) = %v\n", k+1, i, k+1, c.Recognize(i))
+	}
+	legal11 := condition.Check(c, 1, condition.CheckOptions{}) == nil
+	_, legal22 := condition.ExistsRecognizer(lattice.WithL(c, 2), 2)
+	fmt.Fprintf(&b, "(1,1)-legal: %v (want true)\n(2,2)-legal: %v (want false — Theorem 14)\n",
+		legal11, legal22)
+	r.OK = r.OK && legal11 && !legal22
+
+	b.WriteString("\nTheorem 15 family ((x+1,ℓ+1)-legal, not (x,ℓ)-legal):\n")
+	for _, tc := range []struct{ n, x, l int }{{5, 3, 1}, {6, 4, 2}, {7, 4, 3}} {
+		c15, err := lattice.Theorem15Condition(tc.n, tc.x, tc.l)
+		if err != nil {
+			fmt.Fprintf(&b, "  n=%d x=%d ℓ=%d: %v\n", tc.n, tc.x, tc.l, err)
+			r.OK = false
+			continue
+		}
+		up := condition.Check(c15, tc.x+1, condition.CheckOptions{}) == nil
+		_, down := condition.ExistsRecognizer(lattice.WithL(c15, tc.l), tc.x)
+		fmt.Fprintf(&b, "  n=%d x=%d ℓ=%d: (x+1,ℓ+1)-legal=%v (want true), (x,ℓ)-legal=%v (want false)\n",
+			tc.n, tc.x, tc.l, up, down)
+		r.OK = r.OK && up && !down
+	}
+	r.Body = b.String()
+	return r
+}
+
+// E3Counting tabulates NB(x,ℓ) (Theorems 3 and 13) and cross-checks the
+// formulas against brute-force enumeration where affordable.
+func E3Counting(n, m, lMax int) Report {
+	r := Report{ID: "E3", Title: "Theorems 3/13 — condition sizes NB(x,ℓ)", OK: true}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d m=%d; NB(x,ℓ) and fraction of all %d^%d vectors\n", n, m, m, n)
+	fmt.Fprintf(&b, "%-4s", "x")
+	for l := 1; l <= lMax; l++ {
+		fmt.Fprintf(&b, " %22s", fmt.Sprintf("ℓ=%d", l))
+	}
+	b.WriteByte('\n')
+	for x := 0; x < n; x++ {
+		fmt.Fprintf(&b, "%-4d", x)
+		for l := 1; l <= lMax; l++ {
+			nb := count.MustNB(n, m, x, l)
+			f, _ := count.Fraction(n, m, x, l)
+			fmt.Fprintf(&b, " %14s (%5.3f)", nb.String(), f)
+			if n <= 6 {
+				if bf := count.BruteForce(n, m, x, l); nb.Int64() != bf {
+					fmt.Fprintf(&b, " MISMATCH(bf=%d)", bf)
+					r.OK = false
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(NB grows as x shrinks or ℓ grows — the hierarchy directions of Section 5;\n")
+	b.WriteString(" ℓ=1 column additionally matches the Theorem-3 closed form)\n")
+	for x := 0; x < n; x++ {
+		if count.MustNB(n, m, x, 1).Cmp(count.NBConsensus(n, m, x)) != 0 {
+			r.OK = false
+			b.WriteString("Theorem-3 form DISAGREES\n")
+		}
+	}
+	r.Body = b.String()
+	return r
+}
+
+// boundScenario is one row of the E4 table.
+type boundScenario struct {
+	name    string
+	input   vector.Vector
+	fp      rounds.FailurePattern
+	inC     bool
+	predict int
+}
+
+// E4Bounds measures decision rounds for every scenario class of Theorem 10
+// and Lemmas 1–2 and compares them with the predictions.
+func E4Bounds() Report {
+	r := Report{ID: "E4", Title: "Theorem 10 / Lemmas 1–2 — round bounds by scenario", OK: true}
+	var b strings.Builder
+
+	p := core.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
+	m := 4
+	c := condition.MustNewMax(p.N, m, p.X(), p.L)
+	inC := vector.OfInts(4, 4, 4, 2, 1, 2, 3, 1)  // top value on 3 > x=2 entries
+	outC := vector.OfInts(4, 3, 2, 1, 1, 2, 3, 1) // top value once
+	if !c.Contains(inC) || c.Contains(outC) {
+		return Report{ID: r.ID, Title: r.Title, Body: "scenario inputs misclassified"}
+	}
+	fmt.Fprintf(&b, "params n=%d t=%d k=%d d=%d ℓ=%d (x=%d): RCond=%d RMax=%d\n\n",
+		p.N, p.T, p.K, p.D, p.L, p.X(), p.RCond(), p.RMax())
+
+	scenarios := []boundScenario{
+		{"I∈C, failure-free", inC, adversary.None(), true, 2},
+		{"I∈C, f≤t−d crashes", inC, adversary.InitialLast(p.N, p.X()), true, 2},
+		{"I∈C, f>t−d staggered", inC, adversary.Stagger(p.N, p.T, p.X()+1, p.K, p.RMax()), true, p.RCond()},
+		{"I∉C, failure-free", outC, adversary.None(), false, p.RMax()},
+		{"I∉C, staggered", outC, adversary.Stagger(p.N, p.T, p.X()+1, p.K, p.RMax()), false, p.RMax()},
+		{"I∉C, >t−d initial", outC, adversary.InitialLast(p.N, p.X()+1), false, p.RCond()},
+	}
+	fmt.Fprintf(&b, "%-26s %-9s %-9s %-9s %s\n", "scenario", "predicted", "measured", "values", "spec")
+	for _, sc := range scenarios {
+		res, err := core.Run(p, c, sc.input, sc.fp, false)
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		verdict := core.Verify(sc.input, sc.fp, res, p.K)
+		ok := verdict.OK() && verdict.MaxRound <= sc.predict
+		if !ok {
+			r.OK = false
+		}
+		fmt.Fprintf(&b, "%-26s ≤%-8d %-9d %-9s %v\n",
+			sc.name, sc.predict, verdict.MaxRound, verdict.Distinct.String(), verdict.OK())
+	}
+
+	// Random sweep: predictions are upper bounds across random adversaries.
+	rng := rand.New(rand.NewSource(17))
+	worst := 0
+	for trial := 0; trial < 500; trial++ {
+		fp := adversary.Random(rng, p.N, p.T, p.RMax())
+		input := inC
+		isIn := true
+		if trial%2 == 1 {
+			input, isIn = outC, false
+		}
+		res, err := core.Run(p, c, input, fp, false)
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		verdict := core.Verify(input, fp, res, p.K)
+		bound := core.PredictRounds(p, isIn, fp)
+		if !verdict.OK() || verdict.MaxRound > bound {
+			r.OK = false
+			fmt.Fprintf(&b, "RANDOM VIOLATION trial %d: %v (bound %d)\n", trial, verdict, bound)
+		}
+		if verdict.MaxRound > worst {
+			worst = verdict.MaxRound
+		}
+	}
+	fmt.Fprintf(&b, "\n500 random adversaries: all within predicted bounds; worst observed round %d\n", worst)
+	r.Body = b.String()
+	return r
+}
+
+// E5Tradeoff produces the paper's central size/speed series: as the degree
+// d grows, the condition admits more input vectors but decides later.
+func E5Tradeoff() Report {
+	r := Report{ID: "E5", Title: "Section 5 — condition size vs decision rounds across d", OK: true}
+	var b strings.Builder
+	n, m, t, k, l := 8, 4, 5, 1, 1
+	fmt.Fprintf(&b, "n=%d m=%d t=%d k=%d ℓ=%d; input ∈ C, min(t, t−d+1) initial crashes —\n", n, m, t, k, l)
+	b.WriteString("the adversary that forces the Tmf branch, making RCond tight\n\n")
+	fmt.Fprintf(&b, "%-4s %-4s %-14s %-10s %-7s %-9s\n", "d", "x", "NB(x,ℓ)", "fraction", "RCond", "measured")
+	prevNB := int64(-1)
+	prevR := 0
+	for d := 0; d <= t-l; d++ {
+		p := core.Params{N: n, T: t, K: k, D: d, L: l}
+		x := p.X()
+		c := condition.MustNewMax(n, m, x, l)
+		nb := count.MustNB(n, m, x, l)
+		frac, _ := count.Fraction(n, m, x, l)
+		// An input in every condition of the sweep: top value everywhere.
+		input := vector.OfInts(4, 4, 4, 4, 4, 4, 4, 4)
+		crashes := x + 1
+		if crashes > t {
+			crashes = t // the >t−d premise is unreachable at d=0
+		}
+		fp := adversary.InitialLast(n, crashes)
+		res, err := core.Run(p, c, input, fp, false)
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		verdict := core.Verify(input, fp, res, k)
+		// With >t−d initial crashes every survivor is in the Tmf branch
+		// and decides exactly at RCond; at d=0 the premise is unreachable
+		// and the two-round fast path applies instead.
+		want := p.RCond()
+		if crashes <= x {
+			want = 2
+		}
+		if !verdict.OK() || verdict.MaxRound != want {
+			r.OK = false
+		}
+		fmt.Fprintf(&b, "%-4d %-4d %-14s %-10.4f %-7d %-9d\n",
+			d, x, nb.String(), frac, p.RCond(), verdict.MaxRound)
+		if nb.Int64() < prevNB {
+			r.OK = false // size must grow with d
+		}
+		if p.RCond() < prevR {
+			r.OK = false // rounds must not shrink with d
+		}
+		prevNB, prevR = nb.Int64(), p.RCond()
+	}
+	b.WriteString("\n(shape: NB and fraction grow with d while RCond grows — the inherent tradeoff;\n")
+	b.WriteString(" measured rounds meet RCond exactly under the forcing adversary)\n")
+	r.Body = b.String()
+	return r
+}

@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"kset/internal/adversary"
+	"kset/internal/async"
+	"kset/internal/condition"
+	"kset/internal/core"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+// E6Dividing measures the introduction's "dividing power" claim: for a
+// fixed condition degree d, moving from consensus to k-set agreement
+// divides the condition-based round complexity by k, realizing the pairs
+// (k, ⌊(d+ℓ−1)/k⌋+1).
+func E6Dividing() Report {
+	r := Report{ID: "E6", Title: "Introduction — the (k, ⌊(d+ℓ−1)/k⌋+1) pairs", OK: true}
+	var b strings.Builder
+	n, m, t, d, l := 12, 4, 9, 6, 1
+	fmt.Fprintf(&b, "n=%d m=%d t=%d d=%d ℓ=%d; input ∈ C, t−d+1 initial crashes (RCond-forcing)\n\n", n, m, t, d, l)
+	fmt.Fprintf(&b, "%-4s %-7s %-7s %-9s\n", "k", "RCond", "RMax", "measured")
+	input := vector.New(n)
+	for i := range input {
+		input[i] = 4
+	}
+	for k := 1; k <= 4; k++ {
+		p := core.Params{N: n, T: t, K: k, D: d, L: l}
+		c := condition.MustNewMax(n, m, p.X(), l)
+		fp := adversary.InitialLast(n, p.X()+1)
+		res, err := core.Run(p, c, input, fp, false)
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		verdict := core.Verify(input, fp, res, k)
+		if !verdict.OK() || verdict.MaxRound != p.RCond() {
+			r.OK = false
+		}
+		fmt.Fprintf(&b, "%-4d %-7d %-7d %-9d\n", k, p.RCond(), p.RMax(), verdict.MaxRound)
+	}
+	b.WriteString("\n(shape: measured rounds meet ⌊(d+ℓ−1)/k⌋+1 exactly and divide by k;\n")
+	b.WriteString(" k=1 recovers the d+1 consensus bound of [22])\n")
+	r.Body = b.String()
+	return r
+}
+
+// E7Early measures the early-deciding extension (Section 8): decision
+// rounds as a function of the number of actual crashes f.
+func E7Early() Report {
+	r := Report{ID: "E7", Title: "Section 8 — early decision: rounds vs actual crashes f", OK: true}
+	var b strings.Builder
+	n, m, k := 8, 4, 1
+	t := 6
+	p := core.Params{N: n, T: t, K: k, D: t, L: 1} // d=t: condition-free regime
+	c := condition.MustNewMax(n, m, p.X(), p.L)
+	input := vector.OfInts(4, 3, 2, 1, 1, 2, 3, 1)
+	fmt.Fprintf(&b, "n=%d t=%d k=%d, input ∉ help range (d=t): plain bound %d\n\n", n, t, k, p.RMax())
+	fmt.Fprintf(&b, "%-4s %-22s %-14s %-14s\n", "f", "early measured", "early bound", "plain measured")
+	for f := 0; f <= t; f++ {
+		fp := adversary.InitialLast(n, f)
+		early, err := core.RunEarly(p, c, input, fp, false)
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		plain, err := core.Run(p, c, input, fp, false)
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		ev := core.Verify(input, fp, early, k)
+		pv := core.Verify(input, fp, plain, k)
+		bound := f/k + 3
+		if m := core.PredictRounds(p, c.Contains(input), fp); m < bound {
+			bound = m
+		}
+		if !ev.OK() || !pv.OK() || ev.MaxRound > bound || ev.MaxRound > pv.MaxRound {
+			r.OK = false
+		}
+		fmt.Fprintf(&b, "%-4d %-22d ≤%-13d %-14d\n", f, ev.MaxRound, bound, pv.MaxRound)
+	}
+	b.WriteString("\n(shape: early decision tracks f, not t; the plain algorithm pays the worst case)\n")
+	r.Body = b.String()
+	return r
+}
+
+// E8Baseline compares the condition-based algorithm against the classical
+// baseline: who wins and where they coincide (abstract's special cases).
+func E8Baseline() Report {
+	r := Report{ID: "E8", Title: "Abstract — condition-based vs classical baseline", OK: true}
+	var b strings.Builder
+	n, m, t, k := 8, 4, 6, 2
+	inC := vector.OfInts(4, 4, 4, 4, 4, 4, 3, 1)  // dense enough for every d ≥ 1 (x ≤ 5)
+	outC := vector.OfInts(4, 3, 2, 1, 1, 2, 3, 1) // top value once: outside C for d < t
+	fmt.Fprintf(&b, "n=%d m=%d t=%d k=%d, failure-free; msgs = messages delivered\n\n", n, m, t, k)
+	fmt.Fprintf(&b, "%-6s %-12s %-12s %-12s %-12s %-12s\n",
+		"d", "cond (I∈C)", "msgs", "cond (I∉C)", "classical", "msgs")
+	for _, d := range []int{1, 2, 4, 6} {
+		p := core.Params{N: n, T: t, K: k, D: d, L: 1}
+		c := condition.MustNewMax(n, m, p.X(), p.L)
+		rows := [2]int{}
+		var condMsgs int64
+		for i, input := range []vector.Vector{inC, outC} {
+			if d < t && c.Contains(input) != (i == 0) {
+				return Report{ID: r.ID, Title: r.Title, Body: "input misclassified"}
+			}
+			res, err := core.Run(p, c, input, adversary.None(), false)
+			if err != nil {
+				return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+			}
+			v := core.Verify(input, adversary.None(), res, k)
+			if !v.OK() {
+				r.OK = false
+			}
+			rows[i] = v.MaxRound
+			if i == 0 {
+				condMsgs = res.MessagesDelivered
+			}
+		}
+		classical, err := core.RunClassical(n, t, k, inC, adversary.None(), false)
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		cr := classical.MaxDecisionRound()
+		fmt.Fprintf(&b, "%-6d %-12d %-12d %-12d %-12d %-12d\n",
+			d, rows[0], condMsgs, rows[1], cr, classical.MessagesDelivered)
+		// Shape: with I∈C the condition algorithm never loses to the
+		// classical one — in rounds or in messages — and wins strictly
+		// when the classical bound exceeds two rounds.
+		if rows[0] > cr || condMsgs > classical.MessagesDelivered {
+			r.OK = false
+		}
+	}
+	b.WriteString("\n(shape: I∈C decides in 2 rounds — and ~2n² messages — at every d;\n")
+	b.WriteString(" I∉C pays ⌊t/k⌋+1 like the baseline; at d=t, ℓ=1 the bounds collapse)\n")
+	r.Body = b.String()
+	return r
+}
+
+// E9Tightness searches adversaries for the latest reachable decision round
+// (tightness of the bounds) and model-checks a small configuration
+// exhaustively.
+func E9Tightness() Report {
+	r := Report{ID: "E9", Title: "Worst cases — adversaries meeting the bounds; exhaustive safety", OK: true}
+	var b strings.Builder
+
+	// Tightness: out-of-condition inputs under chain adversaries reach
+	// ⌊t/k⌋+1 exactly (the classical lower bound [7] applies).
+	n, m, t, k, d := 6, 4, 4, 1, 2
+	p := core.Params{N: n, T: t, K: k, D: d, L: 1}
+	c := condition.MustNewMax(n, m, p.X(), p.L)
+	outC := vector.OfInts(4, 3, 2, 1, 1, 2)
+	worst := 0
+	var worstFP rounds.FailurePattern
+	for c1 := 0; c1 <= t; c1++ {
+		for per := 0; per <= k+1; per++ {
+			fp := adversary.Stagger(n, t, c1, per, p.RMax())
+			res, err := core.Run(p, c, outC, fp, false)
+			if err != nil {
+				return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+			}
+			v := core.Verify(outC, fp, res, k)
+			if !v.OK() {
+				r.OK = false
+			}
+			if v.MaxRound > worst {
+				worst, worstFP = v.MaxRound, fp
+			}
+		}
+	}
+	fmt.Fprintf(&b, "n=%d t=%d k=%d d=%d, I∉C: latest decision over chain adversaries = %d (bound %d)\n",
+		n, t, k, d, worst, p.RMax())
+	fmt.Fprintf(&b, "worst adversary: %d crashes, %d initial\n", worstFP.NumCrashes(), worstFP.InitialCrashes())
+	if worst != p.RMax() {
+		r.OK = false
+	}
+
+	// Exhaustive safety: every pattern × every input on a small instance.
+	sp := core.Params{N: 4, T: 2, K: 2, D: 1, L: 1}
+	sc := condition.MustNewMax(sp.N, 2, sp.X(), sp.L)
+	runs, violations := 0, 0
+	vector.ForEach(sp.N, 2, func(in vector.Vector) bool {
+		input := in.Clone()
+		inC := sc.Contains(input)
+		_ = adversary.Enumerate(sp.N, sp.T, sp.RMax(), func(fp rounds.FailurePattern) bool {
+			res, err := core.Run(sp, sc, input, fp, false)
+			if err != nil {
+				violations++
+				return true
+			}
+			v := core.Verify(input, fp, res, sp.K)
+			if !v.OK() || v.MaxRound > core.PredictRounds(sp, inC, fp) {
+				violations++
+			}
+			runs++
+			return true
+		})
+		return true
+	})
+	fmt.Fprintf(&b, "\nexhaustive model check (n=%d t=%d k=%d d=%d, m=2): %d executions, %d violations\n",
+		sp.N, sp.T, sp.K, sp.D, runs, violations)
+	if violations > 0 {
+		r.OK = false
+	}
+	r.Body = b.String()
+	return r
+}
+
+// E10Async exercises the Section-4 asynchronous algorithm: termination
+// with inputs in the condition under up to x crashes, safety always, and
+// the expected blocking outside the condition.
+func E10Async() Report {
+	r := Report{ID: "E10", Title: "Section 4 — asynchronous condition-based ℓ-set agreement", OK: true}
+	var b strings.Builder
+	n, m, x, l := 6, 4, 2, 2
+	c := condition.MustNewMax(n, m, x, l)
+	inC := vector.OfInts(4, 4, 4, 2, 1, 2)
+	fmt.Fprintf(&b, "n=%d m=%d x=%d ℓ=%d (max_ℓ condition)\n\n", n, m, x, l)
+	fmt.Fprintf(&b, "%-28s %-10s %-10s %-8s\n", "scenario", "decided", "values", "blocked")
+	for _, sc := range []struct {
+		name    string
+		input   vector.Vector
+		crashes map[int]async.CrashPoint
+	}{
+		{"I∈C, no crashes", inC, nil},
+		{"I∈C, x silent processes", inC, map[int]async.CrashPoint{5: async.CrashBeforeWrite, 6: async.CrashBeforeWrite}},
+		{"I∈C, mixed crashes", inC, map[int]async.CrashPoint{2: async.CrashAfterWrite, 6: async.CrashBeforeWrite}},
+	} {
+		out, err := async.Run(async.Config{
+			X: x, Cond: c, Input: sc.input, Crashes: sc.crashes, Seed: 11, Patience: 2 * time.Second,
+		})
+		if err != nil {
+			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		}
+		distinct := out.DistinctDecisions()
+		ok := len(out.Undecided) == 0 && distinct.Len() <= l && distinct.SubsetOf(sc.input.Vals())
+		if !ok {
+			r.OK = false
+		}
+		fmt.Fprintf(&b, "%-28s %-10d %-10s %-8d\n", sc.name, len(out.Decisions), distinct.String(), len(out.Undecided))
+	}
+
+	// The same algorithm over the message-passing substrate (ABD quorum
+	// registers, x < n/2): identical guarantees with no shared memory at
+	// all.
+	outMP, err := async.Run(async.Config{
+		X: x, Cond: c, Input: inC, Seed: 19,
+		Memory: async.MessagePassingMemory, Patience: 10 * time.Second,
+	})
+	if err != nil {
+		return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+	}
+	mpOK := len(outMP.Undecided) == 0 && outMP.DistinctDecisions().Len() <= l
+	if !mpOK {
+		r.OK = false
+	}
+	fmt.Fprintf(&b, "%-28s %-10d %-10s %-8d\n",
+		"I∈C, message passing", len(outMP.Decisions), outMP.DistinctDecisions().String(), len(outMP.Undecided))
+
+	// Blocking face: an explicit condition none of whose members matches
+	// any view of the input.
+	blocker := condition.NewExplicit(4, 4, 1)
+	blocker.MustAdd(vector.OfInts(1, 1, 2, 3), vector.SetOf(1))
+	out, err := async.Run(async.Config{
+		X: 1, Cond: blocker, Input: vector.OfInts(2, 2, 3, 1), Seed: 5, Patience: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+	}
+	fmt.Fprintf(&b, "%-28s %-10d %-10s %-8d (expected: all blocked)\n",
+		"I∉C, unmatchable views", len(out.Decisions), out.DistinctDecisions().String(), len(out.Undecided))
+	if len(out.Decisions) != 0 || len(out.Undecided) != 4 {
+		r.OK = false
+	}
+	b.WriteString("\n(the asynchronous algorithm terminates iff the condition can still hold —\n")
+	b.WriteString(" the executable face of the ℓ ≤ x impossibility and of Theorems 8/9)\n")
+	r.Body = b.String()
+	return r
+}
+
+// All runs every experiment with its default configuration.
+func All() []Report {
+	return []Report{
+		E1Lattice(4, 3, 2, 3),
+		E2Table1(),
+		E3Counting(8, 4, 3),
+		E4Bounds(),
+		E5Tradeoff(),
+		E6Dividing(),
+		E7Early(),
+		E8Baseline(),
+		E9Tightness(),
+		E10Async(),
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsVerify runs the full suite: every report must come back
+// with every checked claim holding.
+func TestAllExperimentsVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	for _, r := range All() {
+		if !r.OK {
+			t.Errorf("%s (%s) failed:\n%s", r.ID, r.Title, r.Body)
+		}
+		if r.Body == "" {
+			t.Errorf("%s produced no body", r.ID)
+		}
+		if !strings.Contains(r.String(), r.ID) {
+			t.Errorf("%s: String() lacks the id", r.ID)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	ok := Report{ID: "EX", Title: "t", Body: "b", OK: true}
+	if !strings.Contains(ok.String(), "VERIFIED") {
+		t.Error("want VERIFIED marker")
+	}
+	bad := Report{ID: "EX", Title: "t", Body: "b"}
+	if !strings.Contains(bad.String(), "FAILED") {
+		t.Error("want FAILED marker")
+	}
+}
+
+// TestExperimentConfigErrors exercises the error paths of parameterized
+// experiments.
+func TestExperimentConfigErrors(t *testing.T) {
+	r := E1Lattice(3, 2, 5, 2) // xMax ≥ n
+	if r.OK {
+		t.Error("E1 with bad grid must not verify")
+	}
+}

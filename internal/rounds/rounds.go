@@ -1,0 +1,348 @@
+// Package rounds implements the synchronous round-based message-passing
+// model of the paper's Section 6.2: computation proceeds in rounds made of
+// a send phase, a receive phase and a compute phase; a message sent in
+// round r is received in round r; processes fail by crashing.
+//
+// Crash semantics follow the paper's refinement of the standard model:
+// every process sends its round messages in a predetermined order
+// (p_1, …, p_n in round 1), and a process that crashes during its send
+// phase delivers only a prefix of them. Round 1's fixed order is what makes
+// the processes' views of the input vector totally ordered by containment —
+// the property the Figure-2 algorithm's agreement argument builds on.
+// In later rounds the adversary may reorder deliveries (the paper permits
+// any order after round 1).
+//
+// Two executors with identical semantics are provided: a deterministic
+// in-line executor used for exhaustive adversary model checking, and a
+// goroutine-per-process executor exercised under the race detector.
+package rounds
+
+import (
+	"fmt"
+	"sync"
+
+	"kset/internal/vector"
+)
+
+// ProcessID identifies a process; IDs are 1-based like the paper's p_1..p_n.
+type ProcessID int
+
+// Process is a deterministic round-based protocol instance for one process.
+// The engine calls Send then Step once per round until Step reports a
+// decision (the process then halts: it neither sends nor steps afterwards)
+// or the engine's round limit is reached.
+type Process interface {
+	// Send returns the payload this process broadcasts in the given round.
+	// The engine delivers it (subject to crashes) to every process,
+	// including the sender itself.
+	Send(round int) any
+	// Step consumes the payloads received in the given round — recv[i]
+	// holds the payload from process i+1, nil if none — and performs the
+	// compute phase. It returns done=true with the decided value when the
+	// process decides and halts.
+	Step(round int, recv []any) (value vector.Value, done bool)
+}
+
+// Crash schedules the crash of one process.
+type Crash struct {
+	// Round is the round during whose send phase the process crashes
+	// (≥ 1). The process makes no receive or compute step in that round.
+	Round int
+	// AfterSends is how many messages, counted along the process's send
+	// order for that round, are delivered before the crash (0..n).
+	AfterSends int
+}
+
+// FailurePattern is the adversary: which processes crash, when, after how
+// many deliveries, and (for rounds after the first) in which order each
+// process sends.
+type FailurePattern struct {
+	// Crashes maps a process to its crash schedule.
+	Crashes map[ProcessID]Crash
+	// Orders optionally overrides the send order of a process in rounds
+	// ≥ 2 (the paper fixes round 1's order to p_1..p_n). Each order must
+	// be a permutation of all processes.
+	Orders map[ProcessID]map[int][]ProcessID
+}
+
+// NumCrashes returns the number of scheduled crashes.
+func (fp FailurePattern) NumCrashes() int { return len(fp.Crashes) }
+
+// InitialCrashes returns how many processes crash in round 1 before
+// sending anything at all — the paper's "initially crashed" processes.
+func (fp FailurePattern) InitialCrashes() int {
+	c := 0
+	for _, cr := range fp.Crashes {
+		if cr.Round == 1 && cr.AfterSends == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// CrashesByEndOfRound returns how many processes have crashed by the end
+// of round r.
+func (fp FailurePattern) CrashesByEndOfRound(r int) int {
+	c := 0
+	for _, cr := range fp.Crashes {
+		if cr.Round <= r {
+			c++
+		}
+	}
+	return c
+}
+
+// Validate checks the pattern against a system of n processes running at
+// most maxRounds rounds.
+func (fp FailurePattern) Validate(n, maxRounds int) error {
+	for id, cr := range fp.Crashes {
+		if id < 1 || int(id) > n {
+			return fmt.Errorf("rounds: crash of unknown process %d", id)
+		}
+		if cr.Round < 1 {
+			return fmt.Errorf("rounds: process %d crashes in round %d < 1", id, cr.Round)
+		}
+		if cr.AfterSends < 0 || cr.AfterSends > n {
+			return fmt.Errorf("rounds: process %d delivers %d of %d messages", id, cr.AfterSends, n)
+		}
+	}
+	for id, byRound := range fp.Orders {
+		if id < 1 || int(id) > n {
+			return fmt.Errorf("rounds: order for unknown process %d", id)
+		}
+		for r, order := range byRound {
+			if r < 2 {
+				return fmt.Errorf("rounds: process %d: round-%d order is fixed by the model", id, r)
+			}
+			if err := validatePermutation(order, n); err != nil {
+				return fmt.Errorf("rounds: process %d round %d: %w", id, r, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validatePermutation(order []ProcessID, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("order has %d entries, want %d", len(order), n)
+	}
+	seen := make([]bool, n+1)
+	for _, id := range order {
+		if id < 1 || int(id) > n || seen[id] {
+			return fmt.Errorf("order %v is not a permutation of 1..%d", order, n)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// Result reports one synchronous execution.
+type Result struct {
+	// Decisions maps each process that decided to its decided value.
+	Decisions map[ProcessID]vector.Value
+	// DecisionRound maps each decided process to its decision round.
+	DecisionRound map[ProcessID]int
+	// Crashed is the set of processes that crashed.
+	Crashed map[ProcessID]bool
+	// Rounds is the number of rounds actually executed.
+	Rounds int
+	// MessagesDelivered counts delivered messages across the run.
+	MessagesDelivered int64
+}
+
+// MaxDecisionRound returns the latest round at which any process decided
+// (0 when nothing was decided).
+func (r *Result) MaxDecisionRound() int {
+	maxR := 0
+	for _, round := range r.DecisionRound {
+		if round > maxR {
+			maxR = round
+		}
+	}
+	return maxR
+}
+
+// DistinctDecisions returns the set of decided values.
+func (r *Result) DistinctDecisions() vector.Set {
+	var s vector.Set
+	for _, v := range r.Decisions {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// Options configures an execution.
+type Options struct {
+	// MaxRounds caps the execution; the engine also stops as soon as every
+	// live process has decided.
+	MaxRounds int
+	// Concurrent runs each round's compute phase in per-process goroutines
+	// instead of in-line. Semantics are identical; the concurrent executor
+	// exists to exercise protocol implementations under the race detector
+	// and to model the paper's "n processes" faithfully.
+	Concurrent bool
+	// Trace, when non-nil, is filled with the round-by-round events of the
+	// execution (rendering payloads with fmt).
+	Trace *Trace
+}
+
+// Run executes the processes lock-step under the failure pattern. procs[i]
+// is process i+1. It returns an error only for malformed configurations;
+// protocol outcomes (including nobody deciding) are reported in Result.
+func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
+	n := len(procs)
+	if n == 0 {
+		return nil, fmt.Errorf("rounds: no processes")
+	}
+	for i, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("rounds: process %d is nil", i+1)
+		}
+	}
+	if opts.MaxRounds < 1 {
+		return nil, fmt.Errorf("rounds: MaxRounds = %d, want ≥ 1", opts.MaxRounds)
+	}
+	if err := fp.Validate(n, opts.MaxRounds); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Decisions:     make(map[ProcessID]vector.Value),
+		DecisionRound: make(map[ProcessID]int),
+		Crashed:       make(map[ProcessID]bool),
+	}
+	alive := make([]bool, n+1)  // not crashed
+	halted := make([]bool, n+1) // decided and stopped
+	for i := 1; i <= n; i++ {
+		alive[i] = true
+	}
+
+	if opts.Trace != nil {
+		opts.Trace.N = n
+		opts.Trace.Rounds = opts.Trace.Rounds[:0]
+	}
+	for r := 1; r <= opts.MaxRounds; r++ {
+		var rt *RoundTrace
+		if opts.Trace != nil {
+			opts.Trace.Rounds = append(opts.Trace.Rounds, RoundTrace{
+				Round:     r,
+				Sends:     make(map[ProcessID]SendTrace),
+				Decisions: make(map[ProcessID]vector.Value),
+			})
+			rt = &opts.Trace.Rounds[len(opts.Trace.Rounds)-1]
+		}
+		// Send phase: collect deliveries. recv[dst-1][src-1] = payload.
+		recv := make([][]any, n)
+		for i := range recv {
+			recv[i] = make([]any, n)
+		}
+		active := false
+		for src := 1; src <= n; src++ {
+			if !alive[src] || halted[src] {
+				continue
+			}
+			payload := procs[src-1].Send(r)
+			order := sendOrder(fp, ProcessID(src), r, n)
+			limit := n
+			if cr, ok := fp.Crashes[ProcessID(src)]; ok && cr.Round == r {
+				limit = cr.AfterSends
+				alive[src] = false
+				res.Crashed[ProcessID(src)] = true
+				if rt != nil {
+					rt.Crashes = append(rt.Crashes, ProcessID(src))
+				}
+			}
+			for k := 0; k < limit; k++ {
+				dst := order[k]
+				recv[dst-1][src-1] = payload
+				res.MessagesDelivered++
+			}
+			if rt != nil {
+				rt.Sends[ProcessID(src)] = SendTrace{
+					Payload:   fmt.Sprintf("%v", payload),
+					Delivered: limit,
+				}
+			}
+			if alive[src] {
+				active = true
+			}
+		}
+		res.Rounds = r
+
+		// Receive + compute phase.
+		type outcome struct {
+			id    ProcessID
+			value vector.Value
+			done  bool
+		}
+		outcomes := make([]outcome, 0, n)
+		if opts.Concurrent {
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for id := 1; id <= n; id++ {
+				if !alive[id] || halted[id] {
+					continue
+				}
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					v, done := procs[id-1].Step(r, recv[id-1])
+					mu.Lock()
+					outcomes = append(outcomes, outcome{ProcessID(id), v, done})
+					mu.Unlock()
+				}(id)
+			}
+			wg.Wait()
+		} else {
+			for id := 1; id <= n; id++ {
+				if !alive[id] || halted[id] {
+					continue
+				}
+				v, done := procs[id-1].Step(r, recv[id-1])
+				outcomes = append(outcomes, outcome{ProcessID(id), v, done})
+			}
+		}
+		for _, o := range outcomes {
+			if o.done {
+				halted[o.id] = true
+				res.Decisions[o.id] = o.value
+				res.DecisionRound[o.id] = r
+				if rt != nil {
+					rt.Decisions[o.id] = o.value
+				}
+			}
+		}
+
+		if !active {
+			break // every process has crashed or halted
+		}
+		allDone := true
+		for id := 1; id <= n; id++ {
+			if alive[id] && !halted[id] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	return res, nil
+}
+
+// sendOrder resolves the send order of src in round r: round 1 is always
+// the paper's fixed p_1..p_n; later rounds honor the adversary's override.
+func sendOrder(fp FailurePattern, src ProcessID, r, n int) []ProcessID {
+	if r >= 2 {
+		if byRound, ok := fp.Orders[src]; ok {
+			if order, ok := byRound[r]; ok {
+				return order
+			}
+		}
+	}
+	order := make([]ProcessID, n)
+	for i := range order {
+		order[i] = ProcessID(i + 1)
+	}
+	return order
+}

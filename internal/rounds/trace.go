@@ -1,0 +1,77 @@
+package rounds
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kset/internal/vector"
+)
+
+// Trace records an execution round by round. Pass one in Options to have
+// Run populate it; Render draws the paper-style round diagram that makes
+// send prefixes, state flooding and decision points visible.
+type Trace struct {
+	// N is the number of processes (set by Run).
+	N int
+	// Rounds holds one entry per executed round.
+	Rounds []RoundTrace
+}
+
+// RoundTrace is one round's events.
+type RoundTrace struct {
+	// Round is the 1-based round number.
+	Round int
+	// Sends maps each sender to its payload and delivery count.
+	Sends map[ProcessID]SendTrace
+	// Decisions maps deciders to decided values.
+	Decisions map[ProcessID]vector.Value
+	// Crashes lists the processes that crashed during this round.
+	Crashes []ProcessID
+}
+
+// SendTrace is one process's send phase.
+type SendTrace struct {
+	// Payload is the rendered message content.
+	Payload string
+	// Delivered is how many of the n copies were delivered.
+	Delivered int
+}
+
+// Render draws the trace as a per-round table.
+func (tr *Trace) Render() string {
+	var b strings.Builder
+	for _, rt := range tr.Rounds {
+		fmt.Fprintf(&b, "round %d\n", rt.Round)
+		ids := make([]int, 0, len(rt.Sends))
+		for id := range rt.Sends {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			st := rt.Sends[ProcessID(id)]
+			status := ""
+			if st.Delivered < tr.N {
+				status = fmt.Sprintf("  [crashed after %d/%d sends]", st.Delivered, tr.N)
+			}
+			fmt.Fprintf(&b, "  p%-3d sends %s%s\n", id, st.Payload, status)
+		}
+		if len(rt.Crashes) > 0 {
+			crashed := make([]string, 0, len(rt.Crashes))
+			for _, id := range rt.Crashes {
+				crashed = append(crashed, fmt.Sprintf("p%d", id))
+			}
+			sort.Strings(crashed)
+			fmt.Fprintf(&b, "  crashed: %s\n", strings.Join(crashed, " "))
+		}
+		dids := make([]int, 0, len(rt.Decisions))
+		for id := range rt.Decisions {
+			dids = append(dids, int(id))
+		}
+		sort.Ints(dids)
+		for _, id := range dids {
+			fmt.Fprintf(&b, "  p%-3d DECIDES %v\n", id, rt.Decisions[ProcessID(id)])
+		}
+	}
+	return b.String()
+}

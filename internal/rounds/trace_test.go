@@ -1,0 +1,62 @@
+package rounds
+
+import (
+	"strings"
+	"testing"
+
+	"kset/internal/vector"
+)
+
+func TestTraceRecordsExecution(t *testing.T) {
+	vals := []vector.Value{4, 2, 7, 5}
+	fp := FailurePattern{Crashes: map[ProcessID]Crash{3: {Round: 1, AfterSends: 2}}}
+	var tr Trace
+	procs := newFloodRun(vals, 2)
+	res, err := Run(procs, fp, Options{MaxRounds: 3, Trace: &tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != 4 {
+		t.Errorf("trace N = %d", tr.N)
+	}
+	if len(tr.Rounds) != res.Rounds {
+		t.Fatalf("trace has %d rounds, result says %d", len(tr.Rounds), res.Rounds)
+	}
+	r1 := tr.Rounds[0]
+	if len(r1.Sends) != 4 {
+		t.Errorf("round 1 sends = %d, want 4", len(r1.Sends))
+	}
+	if got := r1.Sends[3].Delivered; got != 2 {
+		t.Errorf("p3 delivered %d, want 2", got)
+	}
+	if len(r1.Crashes) != 1 || r1.Crashes[0] != 3 {
+		t.Errorf("round-1 crashes = %v", r1.Crashes)
+	}
+	r2 := tr.Rounds[1]
+	if len(r2.Sends) != 3 {
+		t.Errorf("round 2 sends = %d, want 3 (p3 crashed)", len(r2.Sends))
+	}
+	if len(r2.Decisions) != 3 {
+		t.Errorf("round 2 decisions = %d, want 3", len(r2.Decisions))
+	}
+
+	out := tr.Render()
+	for _, want := range []string{"round 1", "round 2", "crashed after 2/4 sends", "crashed: p3", "DECIDES"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceReusedAcrossRuns(t *testing.T) {
+	var tr Trace
+	for i := 0; i < 2; i++ {
+		procs := newFloodRun([]vector.Value{1, 2}, 1)
+		if _, err := Run(procs, FailurePattern{}, Options{MaxRounds: 2, Trace: &tr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tr.Rounds) != 1 {
+		t.Errorf("trace not reset between runs: %d rounds", len(tr.Rounds))
+	}
+}

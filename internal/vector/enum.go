@@ -1,0 +1,115 @@
+package vector
+
+// ForEach enumerates every full input vector of size n over the value
+// domain {1..m} and calls fn on each. The callback receives a reusable
+// buffer: it must Clone the vector if it retains it. Enumeration stops
+// early if fn returns false. There are m^n such vectors.
+func ForEach(n, m int, fn func(Vector) bool) {
+	if n < 0 || m < 1 {
+		return
+	}
+	cur := make(Vector, n)
+	for i := range cur {
+		cur[i] = 1
+	}
+	for {
+		if !fn(cur) {
+			return
+		}
+		// Odometer increment over {1..m}^n.
+		i := n - 1
+		for i >= 0 {
+			if cur[i] < Value(m) {
+				cur[i]++
+				break
+			}
+			cur[i] = 1
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// ForEachCompletion enumerates every full input vector I over {1..m} with
+// J ≤ I: the ⊥ entries of J range over all values, the non-⊥ entries are
+// fixed. The callback receives a reusable buffer (Clone to retain).
+// Enumeration stops early if fn returns false.
+func ForEachCompletion(j Vector, m int, fn func(Vector) bool) {
+	holes := make([]int, 0, len(j))
+	cur := j.Clone()
+	for i, v := range j {
+		if v == Bottom {
+			holes = append(holes, i)
+			cur[i] = 1
+		}
+	}
+	for {
+		if !fn(cur) {
+			return
+		}
+		h := len(holes) - 1
+		for h >= 0 {
+			if cur[holes[h]] < Value(m) {
+				cur[holes[h]]++
+				break
+			}
+			cur[holes[h]] = 1
+			h--
+		}
+		if h < 0 {
+			return
+		}
+	}
+}
+
+// ForEachView enumerates every view J ≤ I with at most maxBottoms entries
+// erased (including I itself, with zero erased). The callback receives a
+// reusable buffer (Clone to retain). Enumeration stops early if fn
+// returns false. There are Σ_{b≤maxBottoms} C(n,b) such views.
+func ForEachView(i Vector, maxBottoms int, fn func(Vector) bool) {
+	n := len(i)
+	if maxBottoms > n {
+		maxBottoms = n
+	}
+	cur := i.Clone()
+	var rec func(start, erased int) bool
+	rec = func(start, erased int) bool {
+		if !fn(cur) {
+			return false
+		}
+		if erased == maxBottoms {
+			return true
+		}
+		for k := start; k < n; k++ {
+			saved := cur[k]
+			cur[k] = Bottom
+			ok := rec(k+1, erased+1)
+			cur[k] = saved
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}
+
+// OrderedViews returns the chain of views of I induced by the paper's
+// ordered-send first round: prefix views I[0..p-1] followed by ⊥ entries,
+// for p = from..n. Such views are totally ordered by containment, which is
+// exactly the structure the Figure-2 algorithm relies on.
+func OrderedViews(i Vector, from int) []Vector {
+	n := len(i)
+	if from < 0 {
+		from = 0
+	}
+	out := make([]Vector, 0, n-from+1)
+	for p := from; p <= n; p++ {
+		v := New(n)
+		copy(v[:p], i[:p])
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package vector
+
+import "strings"
+
+// Set is a sorted (ascending) set of distinct proposable values. The zero
+// value is the empty set. All operations are non-destructive: they return
+// new sets and never mutate the receiver, so sets can be shared freely.
+type Set []Value
+
+// SetOf builds a set from the given values, deduplicating and sorting.
+func SetOf(vs ...Value) Set {
+	var s Set
+	for _, v := range vs {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// Add returns s ∪ {v}. Adding Bottom is a no-op: sets hold proposable
+// values only.
+func (s Set) Add(v Value) Set {
+	if v == Bottom {
+		return s
+	}
+	i := s.searchIdx(v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	out := make(Set, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, v)
+	out = append(out, s[i:]...)
+	return out
+}
+
+func (s Set) searchIdx(v Value) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Has reports whether v ∈ s.
+func (s Set) Has(v Value) bool {
+	i := s.searchIdx(v)
+	return i < len(s) && s[i] == v
+}
+
+// Len returns |s|.
+func (s Set) Len() int { return len(s) }
+
+// Empty reports whether s is the empty set.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Max returns the greatest value of s, or Bottom if s is empty.
+func (s Set) Max() Value {
+	if len(s) == 0 {
+		return Bottom
+	}
+	return s[len(s)-1]
+}
+
+// Min returns the smallest value of s, or Bottom if s is empty.
+func (s Set) Min() Value {
+	if len(s) == 0 {
+		return Bottom
+	}
+	return s[0]
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	copy(out, s)
+	return out
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			i++
+		case s[i] > t[j]:
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	out = append(out, t[j:]...)
+	return out
+}
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set {
+	var out Set
+	for _, v := range s {
+		if !t.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool {
+	for _, v := range s {
+		if !t.Has(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain the same values.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as {a, b, c}.
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = v.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,267 @@
+// Package vector implements the input-vector algebra of Bonnet & Raynal,
+// "Conditions for Set Agreement with an Application to Synchronous Systems"
+// (Section 2.1): proposed values, input vectors, views with ⊥ entries,
+// containment, Hamming and generalized distances, and intersecting vectors.
+//
+// Throughout, an input vector I has one entry per process; entry i holds the
+// value proposed by process p_i, or Bottom (⊥) if p_i took no step. A vector
+// with no Bottom entry is a (full) input vector; a vector with possible
+// Bottom entries is a view, usually written J in the paper.
+package vector
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a proposed value. The paper's value domain V is modeled as the
+// integers 1..m; Bottom (⊥) is smaller than every proposable value, which
+// matches the paper's convention that ⊥ < a for every a ∈ V and lets max()
+// treat ⊥ as the identity.
+type Value int
+
+// Bottom is the default value ⊥: it cannot be proposed, and it marks the
+// entries of a view whose process has not been heard from.
+const Bottom Value = 0
+
+// IsProposable reports whether v belongs to the value domain V (v ≥ 1).
+func (v Value) IsProposable() bool { return v >= 1 }
+
+// String renders a value; ⊥ is rendered as "⊥".
+func (v Value) String() string {
+	if v == Bottom {
+		return "⊥"
+	}
+	return fmt.Sprintf("%d", int(v))
+}
+
+// Vector is an input vector or a view: one entry per process.
+type Vector []Value
+
+// New returns a view of size n with every entry equal to Bottom.
+func New(n int) Vector { return make(Vector, n) }
+
+// Of builds a vector from the given values. It is a convenience for tests
+// and examples: Of(1, 1, 2) is the vector [1 1 2].
+func Of(vs ...Value) Vector { return Vector(vs) }
+
+// OfInts builds a vector from plain ints; 0 means Bottom.
+func OfInts(vs ...int) Vector {
+	out := make(Vector, len(vs))
+	for i, v := range vs {
+		out[i] = Value(v)
+	}
+	return out
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether v and w have the same length and entries.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsFull reports whether v has no Bottom entry (i.e. it is an input vector,
+// not a strict view).
+func (v Vector) IsFull() bool {
+	for _, x := range v {
+		if x == Bottom {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns #_a(v), the number of occurrences of a in v. Counting
+// Bottom occurrences is allowed (a == Bottom counts ⊥ entries).
+func (v Vector) Count(a Value) int {
+	n := 0
+	for _, x := range v {
+		if x == a {
+			n++
+		}
+	}
+	return n
+}
+
+// BottomCount returns #_⊥(v), the number of ⊥ entries of v.
+func (v Vector) BottomCount() int { return v.Count(Bottom) }
+
+// Max returns the greatest non-⊥ value of v, or Bottom if v has none.
+// The paper writes this max(V).
+func (v Vector) Max() Value {
+	best := Bottom
+	for _, x := range v {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Min returns the smallest non-⊥ value of v, or Bottom if v has none.
+func (v Vector) Min() Value {
+	best := Bottom
+	for _, x := range v {
+		if x == Bottom {
+			continue
+		}
+		if best == Bottom || x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Vals returns val(v): the set of non-⊥ values present in v.
+func (v Vector) Vals() Set {
+	var s Set
+	for _, x := range v {
+		if x != Bottom {
+			s = s.Add(x)
+		}
+	}
+	return s
+}
+
+// ContainedIn reports J ≤ I in the paper's sense: every non-⊥ entry of J
+// agrees with I. (Bottom entries of J are "unknown" and match anything.)
+func (v Vector) ContainedIn(i Vector) bool {
+	if len(v) != len(i) {
+		return false
+	}
+	for k := range v {
+		if v[k] != Bottom && v[k] != i[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hamming returns d_H(v, w): the number of entries in which v and w differ.
+// It panics if the vectors have different lengths.
+func Hamming(v, w Vector) int {
+	if len(v) != len(w) {
+		panic("vector: Hamming distance of vectors with different lengths")
+	}
+	d := 0
+	for k := range v {
+		if v[k] != w[k] {
+			d++
+		}
+	}
+	return d
+}
+
+// GeneralizedDistance returns d_G(vs...): the number of entry positions at
+// which at least two of the given vectors differ. On two vectors it equals
+// the Hamming distance. It panics on length mismatch or an empty argument
+// list; d_G of a single vector is 0.
+func GeneralizedDistance(vs ...Vector) int {
+	if len(vs) == 0 {
+		panic("vector: generalized distance of empty set")
+	}
+	n := len(vs[0])
+	d := 0
+	for k := 0; k < n; k++ {
+		for _, v := range vs[1:] {
+			if len(v) != n {
+				panic("vector: generalized distance of vectors with different lengths")
+			}
+			if v[k] != vs[0][k] {
+				d++
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Intersect returns the intersecting vector ⊓(vs...): the view whose entry k
+// is the common value vs[j][k] when all vectors agree at k, and Bottom at
+// the positions where at least two vectors differ. Its non-⊥ entry count is
+// n − d_G(vs...).
+func Intersect(vs ...Vector) Vector {
+	if len(vs) == 0 {
+		panic("vector: intersection of empty set")
+	}
+	n := len(vs[0])
+	out := make(Vector, n)
+	for k := 0; k < n; k++ {
+		common := vs[0][k]
+		for _, v := range vs[1:] {
+			if v[k] != common {
+				common = Bottom
+				break
+			}
+		}
+		out[k] = common
+	}
+	return out
+}
+
+// MassOf returns Σ_{a∈s} #_a(v): the number of entries of v holding a value
+// of s. This is the count the density and distance properties bound.
+func (v Vector) MassOf(s Set) int {
+	n := 0
+	for _, x := range v {
+		if x != Bottom && s.Has(x) {
+			n++
+		}
+	}
+	return n
+}
+
+// TopL returns max_ℓ(v): the min(ℓ, |val(v)|) greatest distinct values of v,
+// as a Set. It is the paper's canonical recognizing function (Section 2.3).
+func (v Vector) TopL(l int) Set {
+	vals := v.Vals()
+	if len(vals) <= l {
+		return vals
+	}
+	return vals[len(vals)-l:].Clone()
+}
+
+// BottomL returns min_ℓ(v): the min(ℓ, |val(v)|) smallest distinct values.
+// Every Section 2.3 theorem holds for min_ℓ in place of max_ℓ.
+func (v Vector) BottomL(l int) Set {
+	vals := v.Vals()
+	if len(vals) <= l {
+		return vals
+	}
+	return vals[:l].Clone()
+}
+
+// Key returns a compact string encoding of v usable as a map key.
+func (v Vector) Key() string {
+	var b strings.Builder
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", int(x))
+	}
+	return b.String()
+}
+
+// String renders the vector in the paper's [a b ⊥ c] style.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = x.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
