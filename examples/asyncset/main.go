@@ -51,7 +51,7 @@ func main() {
 	// algorithm must not decide — condition-based termination is
 	// conditional, which is exactly the asynchronous impossibility face.
 	strict := kset.NewExplicitCondition(4, 4, 1)
-	if err := strict.Add(kset.VectorOf(1, 1, 2, 3), kset.Set{1}); err != nil {
+	if err := strict.Add(kset.VectorOf(1, 1, 2, 3), kset.SetOf(1)); err != nil {
 		log.Fatal(err)
 	}
 	outside := kset.VectorOf(2, 2, 3, 1)

@@ -42,7 +42,7 @@ func main() {
 	for x := 0; x < n; x++ {
 		c := kset.NewExplicitCondition(n, m, 1)
 		for _, p := range patterns {
-			if err := c.Add(p.input, kset.Set{p.decoded}); err != nil {
+			if err := c.Add(p.input, kset.SetOf(p.decoded)); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -66,7 +66,7 @@ func main() {
 	p := kset.Params{N: n, T: t, K: k, D: d, L: 1}
 	cond := kset.NewExplicitCondition(n, m, 1)
 	for _, pt := range patterns {
-		if err := cond.Add(pt.input, kset.Set{pt.decoded}); err != nil {
+		if err := cond.Add(pt.input, kset.SetOf(pt.decoded)); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -75,15 +75,42 @@ type Condition interface {
 // conditions.
 type Explicit struct {
 	n, m, l int
-	keys    map[string]int
+	keys64  map[uint64]int // members with packable vectors (Vector.Key64)
+	keys    map[string]int // members needing the string-key fallback
 	vecs    []vector.Vector
 	hs      []vector.Set
 }
 
 // NewExplicit creates an empty explicit condition over {1..m}^n with
-// parameter ℓ.
+// parameter ℓ. It panics when m exceeds the 64-value domain cap of the
+// bitmask value sets (vector.MaxSetValue): such a condition could never
+// hold a vector using the values past the cap, so rejecting the
+// parameterization up front beats every Add failing.
 func NewExplicit(n, m, l int) *Explicit {
-	return &Explicit{n: n, m: m, l: l, keys: make(map[string]int)}
+	if m > int(vector.MaxSetValue) {
+		panic(fmt.Sprintf("condition: explicit condition over m=%d values exceeds the value-domain cap %d", m, vector.MaxSetValue))
+	}
+	return &Explicit{n: n, m: m, l: l, keys64: make(map[uint64]int), keys: make(map[string]int)}
+}
+
+// lookup finds the member index of i, using the packed integer key when i
+// packs and the string key otherwise. Insertion uses the same
+// discriminator, so the two maps partition the members consistently.
+func (c *Explicit) lookup(i vector.Vector) (int, bool) {
+	if k, ok := i.Key64(); ok {
+		idx, ok := c.keys64[k]
+		return idx, ok
+	}
+	idx, ok := c.keys[i.Key()]
+	return idx, ok
+}
+
+func (c *Explicit) insert(i vector.Vector, idx int) {
+	if k, ok := i.Key64(); ok {
+		c.keys64[k] = idx
+	} else {
+		c.keys[i.Key()] = idx
+	}
 }
 
 // Add inserts vector i with recognized set h. It returns an error if i has
@@ -105,13 +132,13 @@ func (c *Explicit) Add(i vector.Vector, h vector.Set) error {
 	if h.Len() != want || !h.SubsetOf(i.Vals()) {
 		return fmt.Errorf("condition: h=%v violates (x,%d)-validity for %v", h, c.l, i)
 	}
-	if idx, ok := c.keys[i.Key()]; ok {
+	if idx, ok := c.lookup(i); ok {
 		if !c.hs[idx].Equal(h) {
 			return fmt.Errorf("condition: vector %v already present with h=%v", i, c.hs[idx])
 		}
 		return nil
 	}
-	c.keys[i.Key()] = len(c.vecs)
+	c.insert(i, len(c.vecs))
 	c.vecs = append(c.vecs, i.Clone())
 	c.hs = append(c.hs, h.Clone())
 	return nil
@@ -135,7 +162,7 @@ func (c *Explicit) Members() []vector.Vector { return c.vecs }
 
 // SetRecognized replaces the recognized set of an existing member.
 func (c *Explicit) SetRecognized(i vector.Vector, h vector.Set) error {
-	idx, ok := c.keys[i.Key()]
+	idx, ok := c.lookup(i)
 	if !ok {
 		return fmt.Errorf("condition: %v is not a member", i)
 	}
@@ -154,16 +181,16 @@ func (c *Explicit) L() int { return c.l }
 
 // Contains implements Condition.
 func (c *Explicit) Contains(i vector.Vector) bool {
-	_, ok := c.keys[i.Key()]
+	_, ok := c.lookup(i)
 	return ok
 }
 
 // Recognize implements Condition.
 func (c *Explicit) Recognize(i vector.Vector) vector.Set {
-	if idx, ok := c.keys[i.Key()]; ok {
+	if idx, ok := c.lookup(i); ok {
 		return c.hs[idx]
 	}
-	return nil
+	return vector.Set{}
 }
 
 // ForEachMember implements Condition.

@@ -73,7 +73,7 @@ func DecodeViewGeneric(c Condition, j vector.Vector) (vector.Set, bool) {
 		return !acc.Empty()
 	})
 	if !found {
-		return nil, false
+		return vector.Set{}, false
 	}
 	return acc.Intersect(j.Vals()), true
 }

@@ -219,7 +219,7 @@ func ExistsRecognizer(c *Explicit, x int) ([]vector.Set, bool) {
 				return true
 			}
 		}
-		assign[k] = nil
+		assign[k] = vector.Set{}
 		return false
 	}
 	if rec(0) {
@@ -230,27 +230,22 @@ func ExistsRecognizer(c *Explicit, x int) ([]vector.Set, bool) {
 
 // kSubsets returns every subset of s with exactly k elements.
 func kSubsets(s vector.Set, k int) []vector.Set {
+	vals := s.Values()
 	var out []vector.Set
-	cur := make(vector.Set, 0, k)
-	var rec func(start int)
-	rec = func(start int) {
-		if len(cur) == k {
-			out = append(out, cur.Clone())
+	var cur vector.Set
+	var rec func(start, left int)
+	rec = func(start, left int) {
+		if left == 0 {
+			out = append(out, cur)
 			return
 		}
-		for i := start; i < len(s); i++ {
-			cur = append(cur, s[i])
-			rec(i + 1)
-			cur = cur[:len(cur)-1]
+		for i := start; i+left <= len(vals); i++ {
+			saved := cur
+			cur = cur.Add(vals[i])
+			rec(i+1, left-1)
+			cur = saved
 		}
 	}
-	rec(0)
+	rec(0, k)
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

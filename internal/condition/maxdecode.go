@@ -31,7 +31,7 @@ import "kset/internal/vector"
 // ViewDecoder is implemented by conditions that can compute the
 // Definition-4 view decoding faster than by completion enumeration.
 type ViewDecoder interface {
-	// DecodeView returns (h_ℓ(J), true), or (nil, false) when no member
+	// DecodeView returns (h_ℓ(J), true), or (∅, false) when no member
 	// contains J.
 	DecodeView(j vector.Vector) (vector.Set, bool)
 }
@@ -41,28 +41,58 @@ var _ ViewDecoder = (*MaxCondition)(nil)
 // DecodeView implements ViewDecoder with the closed-form characterization
 // above.
 func (c *MaxCondition) DecodeView(j vector.Vector) (vector.Set, bool) {
-	if len(j) != c.n || !c.P(j) {
-		return nil, false
+	if len(j) != c.n {
+		return vector.Set{}, false
 	}
 	vals := j.Vals()
-	b := j.BottomCount()
+	// One counting pass replaces the per-value j.Count scans; Vals has
+	// already rejected values outside the 0..64 domain, so the fixed
+	// tables below cannot overflow. counts[0] is #_⊥(J).
+	var counts [65]int
+	for _, x := range j {
+		counts[x]++
+	}
+	b := counts[0]
+
+	// Inline P(J): the top-ℓ mass plus the ⊥ budget must exceed x (the
+	// all-⊥ view is contained in every member; the constructor guarantees
+	// m ≥ 1 and n > x, so the condition is non-empty).
+	if b == c.n {
+		return vector.Set{}, true
+	}
+	topMass, topSeen := 0, 0
+	vals.ForEachDesc(func(u vector.Value) bool {
+		if topSeen == c.l {
+			return false
+		}
+		topMass += counts[u]
+		topSeen++
+		return true
+	})
+	if topMass+b <= c.x {
+		return vector.Set{}, false
+	}
+
 	var h vector.Set
 	// Walk val(J) from the greatest down; counts of values above the
-	// current u accumulate into prefix masses.
+	// current u accumulate into prefix masses. The scratch lives in
+	// fixed-size stack arrays (a Set holds at most 64 values), keeping the
+	// decode allocation-free.
 	//
 	// above[i] holds the i-th greatest value of J; masses[i] the number of
 	// J entries holding one of the i greatest values.
-	above := make([]vector.Value, 0, vals.Len())
-	masses := make([]int, 0, vals.Len()+1)
-	masses = append(masses, 0)
-	for idx := vals.Len() - 1; idx >= 0; idx-- {
-		u := vals[idx]
-		if !c.excluded(u, above, masses, b) {
+	var above [64]vector.Value
+	var masses [65]int
+	seen := 0
+	vals.ForEachDesc(func(u vector.Value) bool {
+		if !c.excluded(u, above[:seen], masses[:seen+1], b) {
 			h = h.Add(u)
 		}
-		above = append(above, u)
-		masses = append(masses, masses[len(masses)-1]+j.Count(u))
-	}
+		above[seen] = u
+		masses[seen+1] = masses[seen] + counts[u]
+		seen++
+		return true
+	})
 	return h, true
 }
 

@@ -33,6 +33,9 @@ func NewClassicalRun(n, t, k int, input vector.Vector) ([]rounds.Process, error)
 	if len(input) != n || !input.IsFull() {
 		return nil, fmt.Errorf("core: classical: bad input vector %v", input)
 	}
+	if err := validateInputDomain(input); err != nil {
+		return nil, err
+	}
 	procs := make([]rounds.Process, n)
 	for i := 0; i < n; i++ {
 		procs[i] = &ClassicalProcess{n: n, t: t, k: k, est: input[i], lastRound: t/k + 1}
@@ -65,5 +68,5 @@ func RunClassical(n, t, k int, input vector.Vector, fp rounds.FailurePattern, co
 	if err != nil {
 		return nil, err
 	}
-	return rounds.Run(procs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent})
+	return runPooled(procs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent})
 }

@@ -165,7 +165,7 @@ func RunEarly(p Params, c condition.Condition, input vector.Vector, fp rounds.Fa
 	if err != nil {
 		return nil, err
 	}
-	return rounds.Run(procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
+	return runPooled(procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
 }
 
 // EarlyClassicalProcess is the classical flood algorithm extended with the
@@ -186,6 +186,9 @@ func NewEarlyClassicalRun(n, t, k int, input vector.Vector) ([]rounds.Process, e
 	}
 	if len(input) != n || !input.IsFull() {
 		return nil, fmt.Errorf("core: early classical: bad input vector %v", input)
+	}
+	if err := validateInputDomain(input); err != nil {
+		return nil, err
 	}
 	procs := make([]rounds.Process, n)
 	for i := 0; i < n; i++ {
@@ -230,7 +233,7 @@ func RunEarlyClassical(n, t, k int, input vector.Vector, fp rounds.FailurePatter
 	if err != nil {
 		return nil, err
 	}
-	return rounds.Run(procs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent})
+	return runPooled(procs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent})
 }
 
 // EarlyBound returns the early-deciding round bound min(⌊f/k⌋+2, ⌊t/k⌋+1)

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"sync"
+
+	"kset/internal/rounds"
+	"kset/internal/vector"
+)
+
+// enginePool shares rounds.Engine scratch across the package's Run
+// helpers, so sweeps that call Run/RunEarly/RunClassical thousands of
+// times (exhaustive adversary model checking, experiment tables) reuse the
+// delivery-matrix and bookkeeping buffers instead of reallocating them per
+// run. Results stay freshly allocated, so callers may retain them.
+var enginePool = sync.Pool{New: func() any { return rounds.NewEngine() }}
+
+// runPooled executes one run on a pooled engine.
+func runPooled(procs []rounds.Process, fp rounds.FailurePattern, opts rounds.Options) (*rounds.Result, error) {
+	e := enginePool.Get().(*rounds.Engine)
+	res, err := e.Run(procs, fp, opts)
+	enginePool.Put(e)
+	return res, err
+}
+
+// condRunState is the pooled per-run protocol state of the Figure-2
+// algorithm: the n process cells and one flat backing array for their n
+// views. Run re-initializes every field before use, so recycling a state
+// never leaks one execution into the next.
+type condRunState struct {
+	procs []rounds.Process
+	cells []CondProcess
+	views []vector.Value // n views of n entries each
+}
+
+var condRunPool sync.Pool
+
+// newCondRunState returns a pooled state sized for n processes.
+func newCondRunState(n int) *condRunState {
+	st, _ := condRunPool.Get().(*condRunState)
+	if st == nil || cap(st.cells) < n || cap(st.views) < n*n {
+		st = &condRunState{
+			procs: make([]rounds.Process, n),
+			cells: make([]CondProcess, n),
+			views: make([]vector.Value, n*n),
+		}
+	}
+	st.procs = st.procs[:n]
+	st.cells = st.cells[:n]
+	st.views = st.views[:n*n]
+	clear(st.views)
+	return st
+}

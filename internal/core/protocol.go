@@ -33,31 +33,65 @@ type CondProcess struct {
 	vCond    vector.Value
 	vOut     vector.Value
 	vTmf     vector.Value
+
+	// msg is the reusable flood payload: Send repopulates it and hands out
+	// its address, so a round's broadcast costs no allocation. The engine's
+	// lock-step structure (all sends of a round complete before any step
+	// reads them) makes the reuse safe.
+	msg StateMsg
 }
 
 var _ rounds.Process = (*CondProcess)(nil)
 
+// validateRun checks the shared preconditions of every condition-based
+// run constructor.
+func validateRun(p Params, c condition.Condition, input vector.Vector) error {
+	if err := p.ValidateWith(c); err != nil {
+		return err
+	}
+	if len(input) != p.N {
+		return fmt.Errorf("core: input vector has %d entries, want %d", len(input), p.N)
+	}
+	if !input.IsFull() {
+		return fmt.Errorf("core: input vector %v has ⊥ entries", input)
+	}
+	return validateInputDomain(input)
+}
+
+// validateInputDomain rejects input values the bitmask value sets cannot
+// represent, so runs error out instead of panicking deep in a Set op.
+func validateInputDomain(input vector.Vector) error {
+	for _, v := range input {
+		if v > vector.MaxSetValue {
+			return fmt.Errorf("core: input value %v beyond the value-domain cap %d", v, vector.MaxSetValue)
+		}
+	}
+	return nil
+}
+
+// newCondProcess initializes the protocol instance of process i+1 over the
+// given (zeroed) view storage. Both the allocating and the pooled
+// construction paths go through it.
+func newCondProcess(p Params, c condition.Condition, input vector.Vector, i int, view vector.Vector) CondProcess {
+	return CondProcess{
+		id:       rounds.ProcessID(i + 1),
+		p:        p,
+		cond:     c,
+		proposal: input[i],
+		view:     view,
+	}
+}
+
 // NewRun builds the n protocol instances for input vector input (entry i
 // is p_{i+1}'s proposal; it must be a full vector of proposable values).
 func NewRun(p Params, c condition.Condition, input vector.Vector) ([]rounds.Process, error) {
-	if err := p.ValidateWith(c); err != nil {
+	if err := validateRun(p, c, input); err != nil {
 		return nil, err
-	}
-	if len(input) != p.N {
-		return nil, fmt.Errorf("core: input vector has %d entries, want %d", len(input), p.N)
-	}
-	if !input.IsFull() {
-		return nil, fmt.Errorf("core: input vector %v has ⊥ entries", input)
 	}
 	procs := make([]rounds.Process, p.N)
 	for i := 0; i < p.N; i++ {
-		procs[i] = &CondProcess{
-			id:       rounds.ProcessID(i + 1),
-			p:        p,
-			cond:     c,
-			proposal: input[i],
-			view:     vector.New(p.N),
-		}
+		cp := newCondProcess(p, c, input, i, vector.New(p.N))
+		procs[i] = &cp
 	}
 	return procs, nil
 }
@@ -69,7 +103,8 @@ func (c *CondProcess) Send(round int) any {
 	if round == 1 {
 		return c.proposal
 	}
-	return StateMsg{Cond: c.vCond, Out: c.vOut, Tmf: c.vTmf}
+	c.msg = StateMsg{Cond: c.vCond, Out: c.vOut, Tmf: c.vTmf}
+	return &c.msg
 }
 
 // Step implements rounds.Process: the compute phases of Figure 2.
@@ -89,18 +124,17 @@ func (c *CondProcess) stepFirstRound(recv []any) {
 		}
 	}
 	if c.view.BottomCount() <= c.p.X() {
-		if condition.Predicate(c.cond, c.view) {
-			// Line 6: the input vector may belong to the condition; decode
-			// a candidate value from the view (Definition 4 / Theorem 1).
-			if h, ok := condition.DecodeView(c.cond, c.view); ok && !h.Empty() {
-				c.vCond = h.Max()
-				return
-			}
-			// Unreachable for conditions whose P agrees with Contains and
-			// that are (t−d,ℓ)-legal; degrade to the out branch so that
-			// validity and termination survive a misbehaving condition.
+		// Lines 6–7 fused: DecodeView reports ok exactly when P(J) holds
+		// (some member contains the view) on both the closed-form and the
+		// enumeration path, so one decode answers the predicate and yields
+		// the candidate value (Definition 4 / Theorem 1) in a single pass.
+		if h, ok := condition.DecodeView(c.cond, c.view); ok && !h.Empty() {
+			c.vCond = h.Max()
+			return
 		}
-		// Line 7: the view proves the input vector is outside C.
+		// Line 7: the view proves the input vector is outside C (or the
+		// condition misbehaved and decoded an empty set; degrade to the
+		// out branch so that validity and termination survive it).
 		c.vOut = c.view.Max()
 		return
 	}
@@ -121,7 +155,7 @@ func (c *CondProcess) stepFloodRound(round int, recv []any) (vector.Value, bool)
 		if payload == nil {
 			continue
 		}
-		s := payload.(StateMsg)
+		s := payload.(*StateMsg)
 		c.vCond = maxValue(c.vCond, s.Cond)
 		c.vOut = maxValue(c.vOut, s.Out)
 		c.vTmf = maxValue(c.vTmf, s.Tmf)
@@ -151,12 +185,19 @@ func maxValue(a, b vector.Value) vector.Value {
 }
 
 // Run executes one complete instance of the algorithm and returns the
-// engine result. It is a convenience wrapper over rounds.Run with the
-// protocol's own round bound.
+// engine result. It is a convenience wrapper over Engine.Run with the
+// protocol's own round bound; the per-run process state and the engine
+// scratch both come from pools, so sweeps of many runs stay cheap.
 func Run(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool) (*rounds.Result, error) {
-	procs, err := NewRun(p, c, input)
-	if err != nil {
+	if err := validateRun(p, c, input); err != nil {
 		return nil, err
 	}
-	return rounds.Run(procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
+	st := newCondRunState(p.N)
+	for i := 0; i < p.N; i++ {
+		st.cells[i] = newCondProcess(p, c, input, i, st.views[i*p.N:(i+1)*p.N])
+		st.procs[i] = &st.cells[i]
+	}
+	res, err := runPooled(st.procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
+	condRunPool.Put(st)
+	return res, err
 }

@@ -51,21 +51,23 @@ func Verify(input vector.Vector, fp rounds.FailurePattern, res *rounds.Result, k
 		}
 	}
 
+	// One pass over the decisions collects validity, the distinct value
+	// set and the latest decision round together.
 	proposed := input.Vals()
 	for id, val := range res.Decisions {
 		if !proposed.Has(val) {
 			v.Validity = false
 			v.Violations = append(v.Violations, fmt.Sprintf("validity: p%d decided unproposed %v", id, val))
 		}
+		v.Distinct = v.Distinct.Add(val)
+		if r := res.DecisionRound[id]; r > v.MaxRound {
+			v.MaxRound = r
+		}
 	}
-
-	v.Distinct = res.DistinctDecisions()
 	if v.Distinct.Len() > k {
 		v.Agreement = false
 		v.Violations = append(v.Violations, fmt.Sprintf("agreement: %d distinct values %v > k=%d", v.Distinct.Len(), v.Distinct, k))
 	}
-
-	v.MaxRound = res.MaxDecisionRound()
 	return v
 }
 

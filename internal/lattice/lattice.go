@@ -30,9 +30,10 @@ import (
 // counts. The Theorem 5/7 constructions bound it to rule out recognizers.
 func densestMass(i vector.Vector, l int) int {
 	counts := make([]int, 0, 8)
-	for _, v := range i.Vals() {
+	i.Vals().ForEach(func(v vector.Value) bool {
 		counts = append(counts, i.Count(v))
-	}
+		return true
+	})
 	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
 	mass := 0
 	for k := 0; k < l && k < len(counts); k++ {

@@ -186,10 +186,76 @@ type Options struct {
 	Trace *Trace
 }
 
+// Engine executes synchronous runs while reusing its internal buffers
+// (the n×n delivery matrix, liveness bitmaps, the identity send order and
+// the per-round outcome scratch) across calls. Sweeps that drive thousands
+// of runs — exhaustive adversary model checking above all — should create
+// one Engine and call its Run repeatedly; each call then costs only the
+// small per-run Result (which the caller may retain freely).
+//
+// An Engine is not safe for concurrent use; Run itself may still use the
+// concurrent per-process executor internally.
+type Engine struct {
+	recv     []any // n×n delivery matrix; recv[(dst-1)*n+(src-1)] = payload
+	alive    []bool
+	halted   []bool
+	identity []ProcessID
+	outcomes []outcome
+
+	// Row-sharing fast path (in-line executor, identity send orders): the
+	// send phase records one payload and delivery limit per sender, and a
+	// single receive row is patched incrementally as the destination
+	// advances, instead of materializing the n×n matrix.
+	pay     []any
+	row     []any
+	limits  []int
+	partial []int // senders whose delivery prefix ends mid-row this round
+}
+
+type outcome struct {
+	id    ProcessID
+	value vector.Value
+	done  bool
+}
+
+// NewEngine returns an Engine with no buffers allocated yet; they grow to
+// the largest n seen and are reused afterwards.
+func NewEngine() *Engine { return &Engine{} }
+
+// reset sizes the scratch buffers for a run over n processes.
+func (e *Engine) reset(n int) {
+	if cap(e.recv) < n*n {
+		e.recv = make([]any, n*n)
+		e.alive = make([]bool, n+1)
+		e.halted = make([]bool, n+1)
+		e.identity = make([]ProcessID, n)
+		for i := range e.identity {
+			e.identity[i] = ProcessID(i + 1)
+		}
+		e.outcomes = make([]outcome, 0, n)
+		e.pay = make([]any, n)
+		e.row = make([]any, n)
+		e.limits = make([]int, n)
+		e.partial = make([]int, 0, n)
+	}
+	e.recv = e.recv[:n*n]
+	e.alive = e.alive[:n+1]
+	e.halted = e.halted[:n+1]
+	e.pay = e.pay[:n]
+	e.row = e.row[:n]
+	e.limits = e.limits[:n]
+	for i := 1; i <= n; i++ {
+		e.alive[i] = true
+		e.halted[i] = false
+	}
+}
+
 // Run executes the processes lock-step under the failure pattern. procs[i]
 // is process i+1. It returns an error only for malformed configurations;
 // protocol outcomes (including nobody deciding) are reported in Result.
-func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
+// The returned Result is freshly allocated and remains valid after further
+// Run calls; only the engine's internal scratch is reused.
+func (e *Engine) Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 	n := len(procs)
 	if n == 0 {
 		return nil, fmt.Errorf("rounds: no processes")
@@ -206,15 +272,11 @@ func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	e.reset(n)
 	res := &Result{
-		Decisions:     make(map[ProcessID]vector.Value),
-		DecisionRound: make(map[ProcessID]int),
-		Crashed:       make(map[ProcessID]bool),
-	}
-	alive := make([]bool, n+1)  // not crashed
-	halted := make([]bool, n+1) // decided and stopped
-	for i := 1; i <= n; i++ {
-		alive[i] = true
+		Decisions:     make(map[ProcessID]vector.Value, n),
+		DecisionRound: make(map[ProcessID]int, n),
+		Crashed:       make(map[ProcessID]bool, fp.NumCrashes()),
 	}
 
 	if opts.Trace != nil {
@@ -231,30 +293,38 @@ func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 			})
 			rt = &opts.Trace.Rounds[len(opts.Trace.Rounds)-1]
 		}
-		// Send phase: collect deliveries. recv[dst-1][src-1] = payload.
-		recv := make([][]any, n)
-		for i := range recv {
-			recv[i] = make([]any, n)
+		// Fast path: with the in-line executor, no tracing and no
+		// adversarial send-order overrides, deliveries are prefix slices of
+		// the identity order, so one shared receive row patched as the
+		// destination advances replaces the n×n matrix (and its clear).
+		if !opts.Concurrent && opts.Trace == nil && len(fp.Orders) == 0 {
+			if e.runRoundShared(procs, fp, r, res) {
+				break
+			}
+			continue
 		}
+
+		// Send phase: collect deliveries into the flat matrix.
+		clear(e.recv)
 		active := false
 		for src := 1; src <= n; src++ {
-			if !alive[src] || halted[src] {
+			if !e.alive[src] || e.halted[src] {
 				continue
 			}
 			payload := procs[src-1].Send(r)
-			order := sendOrder(fp, ProcessID(src), r, n)
+			order := e.sendOrder(fp, ProcessID(src), r)
 			limit := n
 			if cr, ok := fp.Crashes[ProcessID(src)]; ok && cr.Round == r {
 				limit = cr.AfterSends
-				alive[src] = false
+				e.alive[src] = false
 				res.Crashed[ProcessID(src)] = true
 				if rt != nil {
 					rt.Crashes = append(rt.Crashes, ProcessID(src))
 				}
 			}
 			for k := 0; k < limit; k++ {
-				dst := order[k]
-				recv[dst-1][src-1] = payload
+				dst := int(order[k])
+				e.recv[(dst-1)*n+(src-1)] = payload
 				res.MessagesDelivered++
 			}
 			if rt != nil {
@@ -263,30 +333,25 @@ func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 					Delivered: limit,
 				}
 			}
-			if alive[src] {
+			if e.alive[src] {
 				active = true
 			}
 		}
 		res.Rounds = r
 
 		// Receive + compute phase.
-		type outcome struct {
-			id    ProcessID
-			value vector.Value
-			done  bool
-		}
-		outcomes := make([]outcome, 0, n)
+		outcomes := e.outcomes[:0]
 		if opts.Concurrent {
 			var mu sync.Mutex
 			var wg sync.WaitGroup
 			for id := 1; id <= n; id++ {
-				if !alive[id] || halted[id] {
+				if !e.alive[id] || e.halted[id] {
 					continue
 				}
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					v, done := procs[id-1].Step(r, recv[id-1])
+					v, done := procs[id-1].Step(r, e.recv[(id-1)*n:id*n])
 					mu.Lock()
 					outcomes = append(outcomes, outcome{ProcessID(id), v, done})
 					mu.Unlock()
@@ -295,16 +360,17 @@ func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 			wg.Wait()
 		} else {
 			for id := 1; id <= n; id++ {
-				if !alive[id] || halted[id] {
+				if !e.alive[id] || e.halted[id] {
 					continue
 				}
-				v, done := procs[id-1].Step(r, recv[id-1])
+				v, done := procs[id-1].Step(r, e.recv[(id-1)*n:id*n])
 				outcomes = append(outcomes, outcome{ProcessID(id), v, done})
 			}
 		}
+		e.outcomes = outcomes[:0]
 		for _, o := range outcomes {
 			if o.done {
-				halted[o.id] = true
+				e.halted[o.id] = true
 				res.Decisions[o.id] = o.value
 				res.DecisionRound[o.id] = r
 				if rt != nil {
@@ -318,7 +384,7 @@ func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 		}
 		allDone := true
 		for id := 1; id <= n; id++ {
-			if alive[id] && !halted[id] {
+			if e.alive[id] && !e.halted[id] {
 				allDone = false
 				break
 			}
@@ -330,9 +396,96 @@ func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// runRoundShared executes round r on the shared-row fast path and reports
+// whether the run should stop (every process crashed/halted, or everyone
+// alive has decided). Semantics match the matrix path exactly: a sender
+// crashing after s sends delivers to destinations p_1..p_s of the fixed
+// identity order.
+func (e *Engine) runRoundShared(procs []Process, fp FailurePattern, r int, res *Result) (stop bool) {
+	n := len(procs)
+	// Send phase: one payload and delivery limit per sender. limits[src-1]
+	// is −1 for non-senders, otherwise the length of the delivery prefix.
+	active := false
+	e.partial = e.partial[:0]
+	delivered := int64(0)
+	for src := 1; src <= n; src++ {
+		if !e.alive[src] || e.halted[src] {
+			e.limits[src-1] = -1
+			continue
+		}
+		e.pay[src-1] = procs[src-1].Send(r)
+		limit := n
+		if cr, ok := fp.Crashes[ProcessID(src)]; ok && cr.Round == r {
+			limit = cr.AfterSends
+			e.alive[src] = false
+			res.Crashed[ProcessID(src)] = true
+		}
+		e.limits[src-1] = limit
+		delivered += int64(limit)
+		if limit < n {
+			e.partial = append(e.partial, src)
+		}
+		if e.alive[src] {
+			active = true
+		}
+	}
+	res.MessagesDelivered += delivered
+	res.Rounds = r
+
+	// Receive + compute phase: the row for destination 1, then per
+	// destination only the partial senders' entries can change (their
+	// prefix ends at dst = limit).
+	for src := 1; src <= n; src++ {
+		if e.limits[src-1] >= 1 {
+			e.row[src-1] = e.pay[src-1]
+		} else {
+			e.row[src-1] = nil
+		}
+	}
+	outcomes := e.outcomes[:0]
+	for dst := 1; dst <= n; dst++ {
+		for _, src := range e.partial {
+			if e.limits[src-1] == dst-1 {
+				e.row[src-1] = nil // dst is past this sender's prefix
+			}
+		}
+		if !e.alive[dst] || e.halted[dst] {
+			continue
+		}
+		v, done := procs[dst-1].Step(r, e.row)
+		outcomes = append(outcomes, outcome{ProcessID(dst), v, done})
+	}
+	e.outcomes = outcomes[:0]
+	for _, o := range outcomes {
+		if o.done {
+			e.halted[o.id] = true
+			res.Decisions[o.id] = o.value
+			res.DecisionRound[o.id] = r
+		}
+	}
+
+	if !active {
+		return true // every process has crashed or halted
+	}
+	for id := 1; id <= n; id++ {
+		if e.alive[id] && !e.halted[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the processes lock-step under the failure pattern with a
+// one-shot engine. It is the convenience form of Engine.Run; loops over
+// many runs should reuse an Engine instead.
+func Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
+	return NewEngine().Run(procs, fp, opts)
+}
+
 // sendOrder resolves the send order of src in round r: round 1 is always
-// the paper's fixed p_1..p_n; later rounds honor the adversary's override.
-func sendOrder(fp FailurePattern, src ProcessID, r, n int) []ProcessID {
+// the paper's fixed p_1..p_n (the engine's shared identity order); later
+// rounds honor the adversary's override.
+func (e *Engine) sendOrder(fp FailurePattern, src ProcessID, r int) []ProcessID {
 	if r >= 2 {
 		if byRound, ok := fp.Orders[src]; ok {
 			if order, ok := byRound[r]; ok {
@@ -340,9 +493,5 @@ func sendOrder(fp FailurePattern, src ProcessID, r, n int) []ProcessID {
 			}
 		}
 	}
-	order := make([]ProcessID, n)
-	for i := range order {
-		order[i] = ProcessID(i + 1)
-	}
-	return order
+	return e.identity
 }

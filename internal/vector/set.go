@@ -1,13 +1,26 @@
 package vector
 
-import "strings"
+import (
+	"math/bits"
+	"strings"
+)
 
-// Set is a sorted (ascending) set of distinct proposable values. The zero
-// value is the empty set. All operations are non-destructive: they return
-// new sets and never mutate the receiver, so sets can be shared freely.
-type Set []Value
+// MaxSetValue is the largest value a Set can hold. The experimental value
+// domains of the paper are tiny (m ≤ 63 everywhere), so sets are
+// represented as 64-bit masks; constructors of conditions over {1..m}^n
+// reject m > MaxSetValue.
+const MaxSetValue Value = 64
 
-// SetOf builds a set from the given values, deduplicating and sorting.
+// Set is a set of distinct proposable values, represented as a bitmask:
+// bit v−1 is set exactly when value v ∈ s. The zero value is the empty
+// set. Sets are immutable values: every operation returns a new set and
+// never mutates the receiver, so sets can be shared and copied freely
+// (copying is a single word). Values must lie in 1..MaxSetValue.
+type Set struct {
+	bits uint64
+}
+
+// SetOf builds a set from the given values, deduplicating.
 func SetOf(vs ...Value) Set {
 	var s Set
 	for _, v := range vs {
@@ -16,152 +29,131 @@ func SetOf(vs ...Value) Set {
 	return s
 }
 
+// setBit returns the mask bit of v, panicking when v is outside the
+// representable domain. Bottom is handled by the callers.
+func setBit(v Value) uint64 {
+	if v < 1 || v > MaxSetValue {
+		panic("vector: set value " + v.String() + " outside 1..64")
+	}
+	return 1 << (uint(v) - 1)
+}
+
 // Add returns s ∪ {v}. Adding Bottom is a no-op: sets hold proposable
 // values only.
 func (s Set) Add(v Value) Set {
 	if v == Bottom {
 		return s
 	}
-	i := s.searchIdx(v)
-	if i < len(s) && s[i] == v {
-		return s
-	}
-	out := make(Set, 0, len(s)+1)
-	out = append(out, s[:i]...)
-	out = append(out, v)
-	out = append(out, s[i:]...)
-	return out
-}
-
-func (s Set) searchIdx(v Value) int {
-	lo, hi := 0, len(s)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return Set{s.bits | setBit(v)}
 }
 
 // Has reports whether v ∈ s.
 func (s Set) Has(v Value) bool {
-	i := s.searchIdx(v)
-	return i < len(s) && s[i] == v
+	if v < 1 || v > MaxSetValue {
+		return false
+	}
+	return s.bits&(1<<(uint(v)-1)) != 0
 }
 
 // Len returns |s|.
-func (s Set) Len() int { return len(s) }
+func (s Set) Len() int { return bits.OnesCount64(s.bits) }
 
 // Empty reports whether s is the empty set.
-func (s Set) Empty() bool { return len(s) == 0 }
+func (s Set) Empty() bool { return s.bits == 0 }
 
 // Max returns the greatest value of s, or Bottom if s is empty.
-func (s Set) Max() Value {
-	if len(s) == 0 {
-		return Bottom
-	}
-	return s[len(s)-1]
-}
+func (s Set) Max() Value { return Value(bits.Len64(s.bits)) }
 
 // Min returns the smallest value of s, or Bottom if s is empty.
 func (s Set) Min() Value {
-	if len(s) == 0 {
+	if s.bits == 0 {
 		return Bottom
 	}
-	return s[0]
+	return Value(bits.TrailingZeros64(s.bits) + 1)
 }
 
-// Clone returns an independent copy of s.
-func (s Set) Clone() Set {
-	out := make(Set, len(s))
-	copy(out, s)
-	return out
-}
+// Clone returns an independent copy of s. Sets are immutable values, so
+// this is the identity; it survives for compatibility with the previous
+// slice-backed representation.
+func (s Set) Clone() Set { return s }
 
 // Intersect returns s ∩ t.
-func (s Set) Intersect(t Set) Set {
-	var out Set
-	i, j := 0, 0
-	for i < len(s) && j < len(t) {
-		switch {
-		case s[i] < t[j]:
-			i++
-		case s[i] > t[j]:
-			j++
-		default:
-			out = append(out, s[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
+func (s Set) Intersect(t Set) Set { return Set{s.bits & t.bits} }
 
 // Union returns s ∪ t.
-func (s Set) Union(t Set) Set {
-	out := make(Set, 0, len(s)+len(t))
-	i, j := 0, 0
-	for i < len(s) && j < len(t) {
-		switch {
-		case s[i] < t[j]:
-			out = append(out, s[i])
-			i++
-		case s[i] > t[j]:
-			out = append(out, t[j])
-			j++
-		default:
-			out = append(out, s[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, s[i:]...)
-	out = append(out, t[j:]...)
-	return out
-}
+func (s Set) Union(t Set) Set { return Set{s.bits | t.bits} }
 
 // Minus returns s \ t.
-func (s Set) Minus(t Set) Set {
-	var out Set
-	for _, v := range s {
-		if !t.Has(v) {
-			out = append(out, v)
+func (s Set) Minus(t Set) Set { return Set{s.bits &^ t.bits} }
+
+// SubsetOf reports s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s.bits&^t.bits == 0 }
+
+// Equal reports whether s and t contain the same values. Sets are
+// comparable, so s == t is equivalent.
+func (s Set) Equal(t Set) bool { return s == t }
+
+// TopN returns the min(n, |s|) greatest values of s.
+func (s Set) TopN(n int) Set {
+	for k := bits.OnesCount64(s.bits); k > n; k-- {
+		s.bits &= s.bits - 1 // drop the smallest remaining value
+	}
+	return s
+}
+
+// BottomN returns the min(n, |s|) smallest values of s.
+func (s Set) BottomN(n int) Set {
+	for k := bits.OnesCount64(s.bits); k > n; k-- {
+		s.bits &^= 1 << (bits.Len64(s.bits) - 1) // drop the greatest
+	}
+	return s
+}
+
+// ForEach calls fn on each value of s in ascending order, stopping early
+// if fn returns false.
+func (s Set) ForEach(fn func(Value) bool) {
+	for b := s.bits; b != 0; b &= b - 1 {
+		if !fn(Value(bits.TrailingZeros64(b) + 1)) {
+			return
 		}
 	}
+}
+
+// ForEachDesc calls fn on each value of s in descending order, stopping
+// early if fn returns false.
+func (s Set) ForEachDesc(fn func(Value) bool) {
+	for b := s.bits; b != 0; {
+		top := bits.Len64(b) - 1
+		if !fn(Value(top + 1)) {
+			return
+		}
+		b &^= 1 << top
+	}
+}
+
+// Values returns the values of s in ascending order as a fresh slice.
+func (s Set) Values() []Value {
+	out := make([]Value, 0, s.Len())
+	s.ForEach(func(v Value) bool {
+		out = append(out, v)
+		return true
+	})
 	return out
 }
 
-// SubsetOf reports s ⊆ t.
-func (s Set) SubsetOf(t Set) bool {
-	for _, v := range s {
-		if !t.Has(v) {
-			return false
-		}
-	}
-	return true
-}
-
-// Equal reports whether s and t contain the same values.
-func (s Set) Equal(t Set) bool {
-	if len(s) != len(t) {
-		return false
-	}
-	for i := range s {
-		if s[i] != t[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// String renders the set as {a, b, c}.
+// String renders the set as {a,b,c}.
 func (s Set) String() string {
-	parts := make([]string, len(s))
-	for i, v := range s {
-		parts[i] = v.String()
-	}
-	return "{" + strings.Join(parts, ",") + "}"
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v Value) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(v.String())
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
 }

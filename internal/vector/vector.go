@@ -10,7 +10,7 @@
 package vector
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -32,7 +32,7 @@ func (v Value) String() string {
 	if v == Bottom {
 		return "⊥"
 	}
-	return fmt.Sprintf("%d", int(v))
+	return strconv.Itoa(int(v))
 }
 
 // Vector is an input vector or a view: one entry per process.
@@ -126,15 +126,16 @@ func (v Vector) Min() Value {
 	return best
 }
 
-// Vals returns val(v): the set of non-⊥ values present in v.
+// Vals returns val(v): the set of non-⊥ values present in v. It is a
+// single pass with no allocation.
 func (v Vector) Vals() Set {
-	var s Set
+	var b uint64
 	for _, x := range v {
 		if x != Bottom {
-			s = s.Add(x)
+			b |= setBit(x)
 		}
 	}
-	return s
+	return Set{b}
 }
 
 // ContainedIn reports J ≤ I in the paper's sense: every non-⊥ entry of J
@@ -214,11 +215,12 @@ func Intersect(vs ...Vector) Vector {
 }
 
 // MassOf returns Σ_{a∈s} #_a(v): the number of entries of v holding a value
-// of s. This is the count the density and distance properties bound.
+// of s. This is the count the density and distance properties bound. It is
+// a single pass with no allocation.
 func (v Vector) MassOf(s Set) int {
 	n := 0
 	for _, x := range v {
-		if x != Bottom && s.Has(x) {
+		if s.Has(x) {
 			n++
 		}
 	}
@@ -227,34 +229,59 @@ func (v Vector) MassOf(s Set) int {
 
 // TopL returns max_ℓ(v): the min(ℓ, |val(v)|) greatest distinct values of v,
 // as a Set. It is the paper's canonical recognizing function (Section 2.3).
-func (v Vector) TopL(l int) Set {
-	vals := v.Vals()
-	if len(vals) <= l {
-		return vals
-	}
-	return vals[len(vals)-l:].Clone()
-}
+func (v Vector) TopL(l int) Set { return v.Vals().TopN(l) }
 
 // BottomL returns min_ℓ(v): the min(ℓ, |val(v)|) smallest distinct values.
 // Every Section 2.3 theorem holds for min_ℓ in place of max_ℓ.
-func (v Vector) BottomL(l int) Set {
-	vals := v.Vals()
-	if len(vals) <= l {
-		return vals
+func (v Vector) BottomL(l int) Set { return v.Vals().BottomN(l) }
+
+// Key returns a compact string encoding of v usable as a map key. Short
+// vectors of small values (the universal case in this repo) pack one byte
+// per entry from a stack buffer; the decimal fallback is tagged with a
+// leading 0xff byte — which no packed key contains — so the two encodings
+// can never collide.
+func (v Vector) Key() string {
+	var buf [32]byte
+	if len(v) <= len(buf) {
+		for i, x := range v {
+			if x < 0 || x > 127 {
+				return v.slowKey()
+			}
+			buf[i] = byte(x)
+		}
+		return string(buf[:len(v)])
 	}
-	return vals[:l].Clone()
+	return v.slowKey()
 }
 
-// Key returns a compact string encoding of v usable as a map key.
-func (v Vector) Key() string {
-	var b strings.Builder
+func (v Vector) slowKey() string {
+	b := make([]byte, 0, 2+4*len(v))
+	b = append(b, 0xff)
 	for i, x := range v {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%d", int(x))
+		b = strconv.AppendInt(b, int64(x), 10)
 	}
-	return b.String()
+	return string(b)
+}
+
+// Key64 packs v into a single integer key: ok when len(v) ≤ 10 and every
+// entry lies in 0..63 (⊥ included). The packing is prefixed with a sentinel
+// bit, so vectors of different lengths never collide. Explicit condition
+// membership maps use it to avoid string hashing entirely.
+func (v Vector) Key64() (uint64, bool) {
+	if len(v) > 10 {
+		return 0, false
+	}
+	k := uint64(1)
+	for _, x := range v {
+		if x < 0 || x > 63 {
+			return 0, false
+		}
+		k = k<<6 | uint64(x)
+	}
+	return k, true
 }
 
 // String renders the vector in the paper's [a b ⊥ c] style.

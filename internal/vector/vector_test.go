@@ -147,7 +147,7 @@ func TestMassOf(t *testing.T) {
 	if got := v.MassOf(SetOf(2, 3)); got != 3 {
 		t.Errorf("MassOf({2,3}) = %d, want 3", got)
 	}
-	if got := v.MassOf(nil); got != 0 {
+	if got := v.MassOf(Set{}); got != 0 {
 		t.Errorf("MassOf(∅) = %d, want 0", got)
 	}
 }
@@ -345,16 +345,17 @@ func TestPropSetModel(t *testing.T) {
 			model[v] = true
 			s = s.Add(v)
 		}
-		if len(s) != len(model) {
-			t.Fatalf("size mismatch: set %d, model %d", len(s), len(model))
+		if s.Len() != len(model) {
+			t.Fatalf("size mismatch: set %d, model %d", s.Len(), len(model))
 		}
 		for v := range model {
 			if !s.Has(v) {
 				t.Fatalf("missing %v", v)
 			}
 		}
-		for i := 1; i < len(s); i++ {
-			if s[i-1] >= s[i] {
+		vals := s.Values()
+		for i := 1; i < len(vals); i++ {
+			if vals[i-1] >= vals[i] {
 				t.Fatalf("not sorted: %v", s)
 			}
 		}

@@ -32,7 +32,7 @@ func TestQuickstartFlow(t *testing.T) {
 
 func TestFacadeConditions(t *testing.T) {
 	c := kset.NewExplicitCondition(4, 4, 1)
-	if err := c.Add(kset.VectorOf(1, 1, 2, 3), kset.Set{1}); err != nil {
+	if err := c.Add(kset.VectorOf(1, 1, 2, 3), kset.SetOf(1)); err != nil {
 		t.Fatal(err)
 	}
 	if v := kset.CheckLegal(c, 1, 0); v != nil {

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Run the full benchmark suite and emit one JSON object per benchmark
+# (ns/op, B/op, allocs/op) to the given file (default: bench.json).
+#
+# Usage: scripts/bench.sh [out.json] [benchtime]
+set -eu
+
+out="${1:-bench.json}"
+benchtime="${2:-1s}"
+
+cd "$(dirname "$0")/.."
+
+raw="$(go test -run '^$' -bench . -benchmem -benchtime "$benchtime" -count 1 .)"
+
+printf '%s\n' "$raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "B/op")      bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", name, ns, bytes, allocs
+}
+END { print "\n}" }
+' > "$out"
+
+echo "wrote $out"
