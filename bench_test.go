@@ -5,8 +5,11 @@
 package kset_test
 
 import (
+	"context"
+	"math/rand"
 	"testing"
 
+	"kset"
 	"kset/internal/adversary"
 	"kset/internal/async"
 	"kset/internal/condition"
@@ -193,6 +196,71 @@ func BenchmarkE10Async(b *testing.B) {
 			b.Fatal("blocked")
 		}
 	}
+}
+
+// BenchmarkCampaignThroughput contrasts the three ways to drive N
+// executions of the same workload through the public API: the deprecated
+// one-shot Agree free function (per-call validation, goroutine-per-process
+// executor — the library's historical hot path), a reusable System's Run
+// (construction-time validation, pooled workers, fresh Result per call),
+// and a Campaign (per-worker engines, recycled Results, bounded fan-out).
+// The campaign must win both ns/op and allocs/op.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
+	c, err := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// A fixed seeded mix of inputs and adversaries, cycled by every arm.
+	rng := rand.New(rand.NewSource(11))
+	base := make([]kset.Scenario, 256)
+	for i := range base {
+		input := make(kset.Vector, p.N)
+		for j := range input {
+			input[j] = kset.Value(1 + rng.Intn(4))
+		}
+		base[i] = kset.Scenario{Input: input, FP: kset.RandomCrashes(rng, p.N, p.T, p.RMax())}
+	}
+	ctx := context.Background()
+
+	b.Run("independent-agree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := &base[i%len(base)]
+			if _, err := kset.Agree(p, c, sc.Input, sc.FP); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("system-run", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc := &base[i%len(base)]
+			if _, err := sys.Run(ctx, sc.Input, sc.FP); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("campaign", func(b *testing.B) {
+		b.ReportAllocs()
+		scs := make([]kset.Scenario, b.N)
+		for i := range scs {
+			scs[i] = base[i%len(base)]
+		}
+		b.ResetTimer()
+		stats, err := sys.RunCampaign(ctx, scs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Runs != int64(b.N) || stats.Errors != 0 {
+			b.Fatalf("campaign ran %d/%d with %d errors", stats.Runs, b.N, stats.Errors)
+		}
+	})
 }
 
 // --- micro-benchmarks of the kernels ---

@@ -1,0 +1,365 @@
+package kset
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// CampaignOption configures a campaign before its workers start.
+type CampaignOption func(*Campaign)
+
+// CampaignWorkers overrides the system's worker count for this campaign.
+func CampaignWorkers(n int) CampaignOption {
+	return func(c *Campaign) {
+		if n > 0 {
+			c.nworkers = n
+		}
+	}
+}
+
+// CollectResults gives the campaign a results channel of the given buffer
+// size, exposed by Campaign.Results. Every scenario's Outcome — with a
+// freshly allocated Result — is sent to it; the consumer MUST drain the
+// channel concurrently with submission, or the workers block. Without this
+// option outcomes are folded into the CampaignStats only and each worker
+// recycles one Result, making the per-run cost allocation-free.
+func CollectResults(buffer int) CampaignOption {
+	return func(c *Campaign) { c.results = make(chan Outcome, max(buffer, 0)) }
+}
+
+// VerifyRuns makes every synchronous run's result checked against the
+// k-set agreement specification; failures increment
+// CampaignStats.Violations and annotate the Outcome's Verdict.
+func VerifyRuns() CampaignOption {
+	return func(c *Campaign) { c.verify = true }
+}
+
+// Outcome reports one campaign scenario.
+type Outcome struct {
+	// Scenario is the submitted scenario, as given.
+	Scenario Scenario
+	// Result is the execution result (nil when Err is set).
+	Result *Result
+	// Verdict is the specification verdict, when VerifyRuns is on and the
+	// scenario ran a synchronous executor.
+	Verdict *Verdict
+	// Err reports a failed run (bad input vector, misconfigured executor
+	// override); the campaign keeps going.
+	Err error
+}
+
+// CampaignStats aggregates a campaign. All fields are plain sums and
+// counts, so for a fixed multiset of scenarios the stats are identical
+// regardless of worker count or scheduling — seeded sweeps are
+// reproducible run to run.
+type CampaignStats struct {
+	// Runs is the number of scenarios executed (including failed ones).
+	Runs int64
+	// Errors is the number of scenarios whose run returned an error.
+	Errors int64
+	// ConditionHits counts runs whose input vector belongs to the
+	// system's condition.
+	ConditionHits int64
+	// Violations counts verified runs that failed the k-set agreement
+	// specification (only populated under VerifyRuns).
+	Violations int64
+	// MessagesDelivered sums delivered messages across all runs.
+	MessagesDelivered int64
+	// DecisionRounds is the histogram of latest decision rounds:
+	// DecisionRounds[r] = runs whose last decision came at round r.
+	// Index 0 counts runs that decided in no round at all — asynchronous
+	// runs (which have no rounds) and runs where nobody decided.
+	DecisionRounds []int64
+}
+
+// observe folds one successful run into the stats.
+func (s *CampaignStats) observe(round int, messages int64, inCondition bool) {
+	for len(s.DecisionRounds) <= round {
+		s.DecisionRounds = append(s.DecisionRounds, 0)
+	}
+	s.DecisionRounds[round]++
+	s.MessagesDelivered += messages
+	if inCondition {
+		s.ConditionHits++
+	}
+}
+
+// merge folds o into s.
+func (s *CampaignStats) merge(o *CampaignStats) {
+	s.Runs += o.Runs
+	s.Errors += o.Errors
+	s.ConditionHits += o.ConditionHits
+	s.Violations += o.Violations
+	s.MessagesDelivered += o.MessagesDelivered
+	for len(s.DecisionRounds) < len(o.DecisionRounds) {
+		s.DecisionRounds = append(s.DecisionRounds, 0)
+	}
+	for r, n := range o.DecisionRounds {
+		s.DecisionRounds[r] += n
+	}
+}
+
+// HitRate returns the fraction of runs whose input was in the condition.
+func (s *CampaignStats) HitRate() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.ConditionHits) / float64(s.Runs)
+}
+
+// MeanDecisionRound returns the mean latest decision round over the runs
+// that decided in some round (histogram indices ≥ 1).
+func (s *CampaignStats) MeanDecisionRound() float64 {
+	var runs, sum int64
+	for r := 1; r < len(s.DecisionRounds); r++ {
+		runs += s.DecisionRounds[r]
+		sum += int64(r) * s.DecisionRounds[r]
+	}
+	if runs == 0 {
+		return 0
+	}
+	return float64(sum) / float64(runs)
+}
+
+// Campaign fans a stream of scenarios across a bounded pool of workers,
+// each owning its engine and protocol buffers, and aggregates the outcomes
+// into a CampaignStats. Build one with System.NewCampaign, feed it with
+// Submit/SubmitAll, then Close (or just Wait) and read the stats:
+//
+//	camp := sys.NewCampaign(ctx)
+//	for _, sc := range scenarios {
+//		if err := camp.Submit(sc); err != nil {
+//			break
+//		}
+//	}
+//	stats, err := camp.Wait()
+//
+// Submit is safe from multiple goroutines. Cancelling the context stops
+// the workers; Wait then reports the context error alongside the stats of
+// the scenarios that did run.
+type Campaign struct {
+	sys      *System
+	ctx      context.Context
+	nworkers int
+	verify   bool
+
+	queue   chan Scenario
+	slice   []Scenario   // fixed-slice mode (RunCampaign): no queue at all
+	next    atomic.Int64 // next slice index to steal
+	results chan Outcome
+	shards  []CampaignStats
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	waitOnce sync.Once
+	stats    *CampaignStats
+	waitErr  error
+}
+
+// NewCampaign starts a campaign's workers and returns the handle. The
+// scenario queue is bounded, so Submit exerts backpressure on producers
+// that outrun the workers.
+func (s *System) NewCampaign(ctx context.Context, opts ...CampaignOption) *Campaign {
+	c := s.newCampaign(ctx, opts)
+	c.queue = make(chan Scenario, 4*c.nworkers+64)
+	c.start()
+	return c
+}
+
+// RunCampaign runs a fixed scenario slice to completion and returns the
+// aggregate stats — the high-throughput form of NewCampaign + SubmitAll +
+// Wait. With the whole workload known up front, the workers steal indices
+// from the slice directly (no per-scenario channel operation), which is
+// what makes campaign batching beat even sequential System.Run at
+// microsecond-sized runs. Outcomes are folded into the stats only; use
+// NewCampaign with CollectResults to stream per-scenario results.
+func (s *System) RunCampaign(ctx context.Context, scenarios []Scenario, opts ...CampaignOption) (*CampaignStats, error) {
+	c := s.newCampaign(ctx, opts)
+	c.slice = scenarios
+	c.closed = true // fixed workload: Submit is rejected
+	c.start()
+	if c.results != nil {
+		// No consumer can drain here; discard so workers never block.
+		go func() {
+			for range c.results {
+			}
+		}()
+	}
+	return c.Wait()
+}
+
+// newCampaign builds the campaign shell: options applied, workers not yet
+// started.
+func (s *System) newCampaign(ctx context.Context, opts []CampaignOption) *Campaign {
+	c := &Campaign{sys: s, ctx: ctx, nworkers: s.workers}
+	for _, opt := range opts {
+		opt(c)
+	}
+	c.shards = make([]CampaignStats, c.nworkers)
+	return c
+}
+
+// start launches the workers and the results-closing watchdog.
+func (c *Campaign) start() {
+	c.wg.Add(c.nworkers)
+	for i := 0; i < c.nworkers; i++ {
+		go c.worker(i)
+	}
+	if c.results != nil {
+		// The results channel closes as soon as every worker has exited,
+		// so consumers may simply range over it — Close ends the range,
+		// with or without a concurrent Wait.
+		go func() {
+			c.wg.Wait()
+			close(c.results)
+		}()
+	}
+}
+
+// Submit enqueues one scenario, blocking while the queue is full. It
+// returns the context's error after cancellation and ErrCampaignClosed
+// after Close.
+func (c *Campaign) Submit(sc Scenario) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return ErrCampaignClosed
+	}
+	select {
+	case c.queue <- sc:
+		return nil
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	}
+}
+
+// SubmitAll enqueues the scenarios in order, stopping at the first error.
+func (c *Campaign) SubmitAll(scs []Scenario) error {
+	for i := range scs {
+		if err := c.Submit(scs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close marks the campaign complete: no further Submit calls are accepted
+// and the workers drain the queue and exit. Close is idempotent; Wait
+// calls it implicitly.
+func (c *Campaign) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.queue)
+	}
+}
+
+// stealNext hands out the next fixed-slice scenario index, or false when
+// the slice is exhausted or the context cancelled.
+func (c *Campaign) stealNext() (int, bool) {
+	if c.ctx.Err() != nil {
+		return 0, false
+	}
+	i := c.next.Add(1) - 1
+	if i >= int64(len(c.slice)) {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// Results returns the streaming outcome channel (nil unless the campaign
+// was built with CollectResults). It closes once the campaign is Closed
+// and every worker has exited, so ranging over it terminates.
+func (c *Campaign) Results() <-chan Outcome { return c.results }
+
+// Wait closes the campaign, waits for the workers to drain the queue, and
+// returns the merged stats. After cancellation it returns the context's
+// error together with the stats of the scenarios that completed.
+func (c *Campaign) Wait() (*CampaignStats, error) {
+	c.waitOnce.Do(func() {
+		c.Close()
+		c.wg.Wait()
+		stats := &CampaignStats{}
+		for i := range c.shards {
+			stats.merge(&c.shards[i])
+		}
+		c.stats = stats
+		c.waitErr = c.ctx.Err()
+	})
+	return c.stats, c.waitErr
+}
+
+// worker is one campaign worker: it checks engine/protocol buffers out of
+// the shared pool once and runs scenarios until the queue closes or the
+// context is cancelled, folding outcomes into its own stats shard (merged,
+// deterministically, by Wait).
+func (c *Campaign) worker(i int) {
+	defer c.wg.Done()
+	w := getWorker()
+	defer putWorker(w)
+	shard := &c.shards[i]
+	if c.slice != nil {
+		for {
+			idx, ok := c.stealNext()
+			if !ok {
+				return
+			}
+			c.runOne(w, shard, c.slice[idx])
+		}
+	}
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case sc, ok := <-c.queue:
+			if !ok {
+				return
+			}
+			c.runOne(w, shard, sc)
+		}
+	}
+}
+
+// runOne executes one scenario on worker w. Without a results channel the
+// worker recycles a single Result, so the run allocates nothing.
+func (c *Campaign) runOne(w *worker, shard *CampaignStats, sc Scenario) {
+	ex, err := c.sys.resolveExecutor(&sc)
+	var res *Result
+	if err == nil {
+		var reuse *Result
+		if c.results == nil {
+			if w.res == nil {
+				w.res = &Result{}
+			}
+			reuse = w.res
+		}
+		res, err = ex.run(c.ctx, c.sys, w, &sc, reuse)
+	}
+	shard.Runs++
+	out := Outcome{Scenario: sc}
+	if err != nil {
+		shard.Errors++
+		out.Err = err
+	} else {
+		inC := c.sys.cond != nil && c.sys.cond.Contains(sc.Input)
+		shard.observe(res.MaxDecisionRound(), res.MessagesDelivered, inC)
+		if c.verify && ex.synchronous() {
+			v := Verify(sc.Input, sc.FP, res, c.sys.p.K)
+			if !v.OK() {
+				shard.Violations++
+			}
+			out.Verdict = &v
+		}
+		out.Result = res
+	}
+	if c.results != nil {
+		select {
+		case c.results <- out:
+		case <-c.ctx.Done():
+		}
+	}
+}

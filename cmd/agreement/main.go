@@ -3,6 +3,10 @@
 // or the classical baseline — under a chosen failure scenario, and prints
 // the per-process decisions, rounds and specification verdict.
 //
+// It is a thin CLI over the kset.System handle: the flags become
+// construction options, one kset.System is built, and a single Run
+// executes the scenario.
+//
 // Usage:
 //
 //	agreement -n 8 -t 5 -k 2 -d 3 -l 1 -m 4 \
@@ -12,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"kset"
 	"kset/internal/condition"
 	"kset/internal/core"
 	"kset/internal/rounds"
@@ -57,48 +63,47 @@ func run(args []string) error {
 		return err
 	}
 
-	p := core.Params{N: *n, T: *t, K: *k, D: *d, L: *l}
-	var procs []rounds.Process
-	maxRounds := p.RMax()
+	p := kset.Params{N: *n, T: *t, K: *k, D: *d, L: *l}
+	opts := []kset.Option{kset.WithParams(p), kset.WithProcessGoroutines()}
+	var exec kset.Executor
 	switch *variant {
 	case "cond", "early":
-		c, err := condition.NewMax(*n, *m, p.X(), *l)
+		cond, err := kset.NewMaxCondition(*n, *m, p.X(), *l)
 		if err != nil {
 			return err
 		}
-		inC := c.Contains(input)
+		inC := cond.Contains(input)
 		fmt.Printf("condition: max_%d-generated (x=%d,ℓ=%d)-legal; input ∈ C: %v\n", *l, p.X(), *l, inC)
 		fmt.Printf("bounds: RCond=%d RMax=%d predicted=%d\n", p.RCond(), p.RMax(), core.PredictRounds(p, inC, fp))
+		exec = kset.Figure2
 		if *variant == "early" {
-			procs, err = core.NewEarlyRun(p, c, input)
-		} else {
-			procs, err = core.NewRun(p, c, input)
+			exec = kset.EarlyDeciding
 		}
-		if err != nil {
-			return err
-		}
+		opts = append(opts, kset.WithCondition(cond))
 	case "classical":
-		maxRounds = *t / *k + 1
-		procs, err = core.NewClassicalRun(*n, *t, *k, input)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("classical baseline: decides at round ⌊t/k⌋+1 = %d\n", maxRounds)
+		exec = kset.Classical
+		fmt.Printf("classical baseline: decides at round ⌊t/k⌋+1 = %d\n", *t / *k + 1)
 	default:
 		return fmt.Errorf("unknown variant %q", *variant)
 	}
+	opts = append(opts, kset.WithExecutor(exec))
 
-	opts := rounds.Options{MaxRounds: maxRounds, Concurrent: true}
-	if *trace {
-		opts.Trace = &rounds.Trace{}
-		opts.Concurrent = false // deterministic trace ordering
-	}
-	res, err := rounds.Run(procs, fp, opts)
+	sys, err := kset.New(opts...)
 	if err != nil {
 		return err
 	}
+
+	var res *kset.Result
 	if *trace {
-		fmt.Printf("\n%s", opts.Trace.Render())
+		// The trace path drives the engine directly (deterministic in-line
+		// executor, trace hooks) — the one workflow the System does not
+		// cover.
+		res, err = runTraced(p, *variant, *n, *t, *k, *m, input, fp)
+	} else {
+		res, err = sys.Run(context.Background(), input, fp)
+	}
+	if err != nil {
+		return err
 	}
 
 	ids := make([]int, 0, *n)
@@ -119,12 +124,45 @@ func run(args []string) error {
 			fmt.Printf("p%-4d %-10v %-10s %-8s\n", id, input[id-1], "none", "-")
 		}
 	}
-	verdict := core.Verify(input, fp, res, *k)
+	verdict := kset.Verify(input, fp, res, *k)
 	fmt.Printf("\nverdict: %v\nmessages delivered: %d\n", verdict, res.MessagesDelivered)
 	if !verdict.OK() {
 		return fmt.Errorf("specification violated")
 	}
 	return nil
+}
+
+// runTraced executes the run on the deterministic in-line executor with
+// trace capture and renders the trace.
+func runTraced(p kset.Params, variant string, n, t, k, m int, input kset.Vector, fp kset.FailurePattern) (*kset.Result, error) {
+	var procs []rounds.Process
+	var err error
+	maxRounds := p.RMax()
+	switch variant {
+	case "cond", "early":
+		c, cerr := condition.NewMax(n, m, p.X(), p.L)
+		if cerr != nil {
+			return nil, cerr
+		}
+		if variant == "early" {
+			procs, err = core.NewEarlyRun(p, c, input)
+		} else {
+			procs, err = core.NewRun(p, c, input)
+		}
+	case "classical":
+		maxRounds = t/k + 1
+		procs, err = core.NewClassicalRun(n, t, k, input)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := rounds.Options{MaxRounds: maxRounds, Trace: &rounds.Trace{}}
+	res, err := rounds.Run(procs, fp, opts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("\n%s", opts.Trace.Render())
+	return res, nil
 }
 
 func parseInput(s string, n int) (vector.Vector, error) {

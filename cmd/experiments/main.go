@@ -2,16 +2,28 @@
 // (E1–E10 of DESIGN.md) and prints the verification reports recorded in
 // EXPERIMENTS.md.
 //
+// With -campaign it instead drives the high-throughput entry point — one
+// kset.System fed by a Campaign — across seeded random inputs, failure
+// patterns and all three synchronous executors, and prints the aggregate
+// CampaignStats (decision-round histogram, condition-hit rate, violation
+// count). This is the load-harness face of the library: the same sweep a
+// production soak test would run, with every execution verified against
+// the k-set agreement specification.
+//
 // Usage:
 //
 //	experiments [-only E4]
+//	experiments -campaign [-runs 30000] [-seed 1] [-workers 8]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
+	"kset"
 	"kset/internal/experiments"
 )
 
@@ -25,8 +37,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment (E1..E10)")
+	campaign := fs.Bool("campaign", false, "run the campaign load sweep instead of E1..E10")
+	runs := fs.Int("runs", 30000, "campaign: number of scenarios")
+	seed := fs.Int64("seed", 1, "campaign: random seed (same seed ⇒ same stats)")
+	workers := fs.Int("workers", 0, "campaign: worker count (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *campaign {
+		return runCampaign(*runs, *seed, *workers)
 	}
 
 	failed := 0
@@ -42,6 +61,62 @@ func run(args []string) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed verification", failed)
+	}
+	return nil
+}
+
+// runCampaign sweeps seeded random scenarios — inputs × failure patterns ×
+// executors — through one verified campaign and prints the stats.
+func runCampaign(runs int, seed int64, workers int) error {
+	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
+	const m = 4
+	cond, err := kset.NewMaxCondition(p.N, m, p.X(), p.L)
+	if err != nil {
+		return err
+	}
+	opts := []kset.Option{kset.WithParams(p), kset.WithCondition(cond)}
+	if workers > 0 {
+		opts = append(opts, kset.WithWorkers(workers))
+	}
+	sys, err := kset.New(opts...)
+	if err != nil {
+		return err
+	}
+
+	execs := []kset.Executor{kset.Figure2, kset.EarlyDeciding, kset.Classical}
+	rng := rand.New(rand.NewSource(seed))
+	scenarios := make([]kset.Scenario, runs)
+	for i := range scenarios {
+		input := make(kset.Vector, p.N)
+		for j := range input {
+			input[j] = kset.Value(1 + rng.Intn(m))
+		}
+		scenarios[i] = kset.Scenario{
+			Input:    input,
+			FP:       kset.RandomCrashes(rng, p.N, p.T, p.RMax()),
+			Executor: execs[rng.Intn(len(execs))],
+		}
+	}
+
+	stats, err := sys.RunCampaign(context.Background(), scenarios, kset.VerifyRuns())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("campaign: n=%d t=%d k=%d d=%d ℓ=%d m=%d, %d scenarios, seed %d\n\n",
+		p.N, p.T, p.K, p.D, p.L, m, runs, seed)
+	fmt.Printf("%-24s %d\n", "runs", stats.Runs)
+	fmt.Printf("%-24s %d\n", "errors", stats.Errors)
+	fmt.Printf("%-24s %.4f (%d runs)\n", "condition-hit rate", stats.HitRate(), stats.ConditionHits)
+	fmt.Printf("%-24s %d\n", "spec violations", stats.Violations)
+	fmt.Printf("%-24s %d\n", "messages delivered", stats.MessagesDelivered)
+	fmt.Printf("%-24s %.3f\n", "mean decision round", stats.MeanDecisionRound())
+	fmt.Println("\ndecision-round histogram (0 = nobody decided):")
+	for r, c := range stats.DecisionRounds {
+		fmt.Printf("  round %-2d %8d\n", r, c)
+	}
+	if stats.Violations > 0 {
+		return fmt.Errorf("%d specification violation(s)", stats.Violations)
 	}
 	return nil
 }

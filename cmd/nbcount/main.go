@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"kset"
 	"kset/internal/count"
 )
 
@@ -41,11 +42,11 @@ func run(args []string) error {
 	for x := 0; x < *n; x++ {
 		fmt.Printf("%-5d", x)
 		for l := 1; l <= *lMax; l++ {
-			nb, err := count.NB(*n, *m, x, l)
+			nb, err := kset.ConditionSize(*n, *m, x, l)
 			if err != nil {
 				return err
 			}
-			f, err := count.Fraction(*n, *m, x, l)
+			f, err := kset.ConditionFraction(*n, *m, x, l)
 			if err != nil {
 				return err
 			}

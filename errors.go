@@ -1,0 +1,28 @@
+package kset
+
+import (
+	"errors"
+
+	"kset/internal/kerr"
+)
+
+// Sentinel errors shared by every constructor and run entry point of the
+// package. Errors returned by NewMaxCondition, NewMinCondition,
+// NewExplicitCondition, ConditionSize, New, System.Run and the deprecated
+// free functions wrap one of these; classify with errors.Is.
+var (
+	// ErrBadParams marks invalid problem or condition parameters
+	// (n, t, k, d, ℓ, x, m ranges, mismatched dimensions, nil conditions).
+	ErrBadParams = kerr.ErrBadParams
+
+	// ErrDomainTooLarge marks a value domain beyond the 64-value cap of
+	// the bitmask value sets, or an input value past it.
+	ErrDomainTooLarge = kerr.ErrDomainTooLarge
+
+	// ErrBadInput marks a malformed input vector for a run: wrong length,
+	// ⊥ entries, or values outside the proposable range.
+	ErrBadInput = kerr.ErrBadInput
+
+	// ErrCampaignClosed is returned by Campaign.Submit after Close.
+	ErrCampaignClosed = errors.New("kset: campaign closed")
+)

@@ -1,5 +1,5 @@
 // Asyncset: condition-based ℓ-set agreement with no synchrony at all
-// (Section 4).
+// (Section 4), run through the Asynchronous executor of a kset.System.
 //
 // In an asynchronous shared-memory system with up to x crashes, ℓ-set
 // agreement is impossible for ℓ ≤ x on unrestricted inputs — but becomes
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,44 +29,65 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The Asynchronous executor derives its resilience from the params:
+	// x = t−d. With t = x and d = 0, k = ℓ = 2.
+	sys, err := kset.New(
+		kset.WithParams(kset.Params{N: n, T: x, K: l, D: 0, L: l}),
+		kset.WithCondition(cond),
+		kset.WithExecutor(kset.Asynchronous),
+		kset.WithAsyncPatience(2*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	inC := kset.VectorOf(4, 4, 4, 2, 1, 2)
 	fmt.Printf("input %v in condition: %v\n", inC, cond.Contains(inC))
-	out, err := kset.AgreeAsync(kset.AsyncConfig{
-		X:     x,
-		Cond:  cond,
+	res, err := sys.RunScenario(context.Background(), kset.Scenario{
 		Input: inC,
-		Crashes: map[int]kset.CrashPoint{
+		Seed:  42,
+		AsyncCrashes: map[int]kset.CrashPoint{
 			5: kset.CrashBeforeWrite, // never writes: its entry stays ⊥
 			6: kset.CrashAfterWrite,  // writes, then stops helping
 		},
-		Seed:     42,
-		Patience: 2 * time.Second,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("decisions: %v (distinct %v, allowed ℓ=%d)\n", out.Decisions, out.DistinctDecisions(), l)
-	fmt.Printf("undecided: %v\n\n", out.Undecided)
+	fmt.Printf("decisions: %v (distinct %v, allowed ℓ=%d)\n",
+		res.Decisions, res.DistinctDecisions(), l)
+	fmt.Printf("correct processes without a decision: %d\n\n",
+		n-len(res.Decisions)-len(res.Crashed))
 
 	// Now an input no member of a hand-built condition explains: the
 	// algorithm must not decide — condition-based termination is
 	// conditional, which is exactly the asynchronous impossibility face.
-	strict := kset.NewExplicitCondition(4, 4, 1)
+	strict, err := kset.NewExplicitCondition(4, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := strict.Add(kset.VectorOf(1, 1, 2, 3), kset.SetOf(1)); err != nil {
+		log.Fatal(err)
+	}
+	blockedSys, err := kset.New(
+		kset.WithParams(kset.Params{N: 4, T: 1, K: 1, D: 0, L: 1}),
+		kset.WithCondition(strict),
+		kset.WithExecutor(kset.Asynchronous),
+		kset.WithAsyncPatience(300*time.Millisecond),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
 	outside := kset.VectorOf(2, 2, 3, 1)
 	fmt.Printf("strict condition {[1 1 2 3]}, input %v\n", outside)
-	blocked, err := kset.AgreeAsync(kset.AsyncConfig{
-		X:        1,
-		Cond:     strict,
-		Input:    outside,
-		Seed:     7,
-		Patience: 300 * time.Millisecond,
+	blocked, err := blockedSys.RunScenario(context.Background(), kset.Scenario{
+		Input: outside,
+		Seed:  7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("decisions: %v\n", blocked.Decisions)
-	fmt.Printf("undecided after patience: %v (expected: everyone)\n", blocked.Undecided)
+	fmt.Printf("undecided after patience: %d of %d (expected: everyone)\n",
+		4-len(blocked.Decisions), 4)
 }

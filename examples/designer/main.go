@@ -6,11 +6,12 @@
 // patterns (say, the plausible vote distributions of a 5-member config
 // service). It encodes them as an explicit condition, uses the legality
 // decider to find the largest crash resilience x the set supports, checks
-// it with the verifier, and then runs the synchronous algorithm
-// instantiated with it — two-round decisions on the curated inputs.
+// it with the verifier, and then constructs a System instantiated with it —
+// two-round decisions on the curated inputs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,17 +37,27 @@ func main() {
 		{kset.VectorOf(3, 3, 3, 4, 4), 3},
 	}
 
-	// Find the largest x for which this exact set, with this exact
-	// decoding, is (x,1)-legal.
-	bestX := -1
-	for x := 0; x < n; x++ {
-		c := kset.NewExplicitCondition(n, m, 1)
+	// build assembles the workload condition; every condition constructor
+	// reports errors (wrapping kset.ErrBadParams / kset.ErrDomainTooLarge)
+	// rather than panicking.
+	build := func() *kset.ExplicitCondition {
+		c, err := kset.NewExplicitCondition(n, m, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for _, p := range patterns {
 			if err := c.Add(p.input, kset.SetOf(p.decoded)); err != nil {
 				log.Fatal(err)
 			}
 		}
-		if v := kset.CheckLegal(c, x, 0); v != nil {
+		return c
+	}
+
+	// Find the largest x for which this exact set, with this exact
+	// decoding, is (x,1)-legal.
+	bestX := -1
+	for x := 0; x < n; x++ {
+		if v := kset.CheckLegal(build(), x, 0); v != nil {
 			fmt.Printf("x=%d: not legal (%v)\n", x, v)
 			continue
 		}
@@ -58,23 +69,18 @@ func main() {
 	}
 	fmt.Printf("\nthe workload condition is (x,1)-legal up to x=%d\n", bestX)
 
-	// Instantiate the algorithm: x = t−d, so d = t−x.
-	d := t - bestX
-	if d < 0 {
-		d = 0
-	}
+	// Instantiate the system: x = t−d, so d = t−x.
+	d := max(t-bestX, 0)
 	p := kset.Params{N: n, T: t, K: k, D: d, L: 1}
-	cond := kset.NewExplicitCondition(n, m, 1)
-	for _, pt := range patterns {
-		if err := cond.Add(pt.input, kset.SetOf(pt.decoded)); err != nil {
-			log.Fatal(err)
-		}
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(build()))
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("running with d=%d: RCond=%d vs classical %d rounds\n\n", d, p.RCond(), t/k+1)
 	for _, pt := range patterns {
 		fp := kset.InitialCrashes(n, 1)
-		res, err := kset.Agree(p, cond, pt.input, fp)
+		res, err := sys.Run(context.Background(), pt.input, fp)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,4 +1,5 @@
-// Faultstorm: early decision under increasing failures (Section 8).
+// Faultstorm: early decision under increasing failures (Section 8), run
+// as one Campaign.
 //
 // A replicated coordinator group of n = 9 must agree on at most k = 2
 // leader epochs despite up to t = 8 crashes. The plain algorithms pay for
@@ -6,9 +7,15 @@
 // f — the crashes that do happen, deciding in about ⌊f/k⌋ rounds plus a
 // small constant. The program storms the group with ever more initial
 // crashes and prints how each variant's decision round responds.
+//
+// All 27 executions (9 failure counts × 3 algorithm variants) are
+// submitted to a single campaign: each scenario carries its own executor
+// override, the runs fan across the worker pool, verification is on, and
+// the per-scenario results stream back over the campaign's channel.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,33 +33,57 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+	if err != nil {
+		log.Fatal(err)
+	}
 	input := kset.VectorOf(4, 3, 2, 1, 1, 2, 3, 1, 2)
+
+	variants := []kset.Executor{kset.Figure2, kset.EarlyDeciding, kset.Classical}
+	camp := sys.NewCampaign(context.Background(),
+		kset.CollectResults(64), kset.VerifyRuns())
+	for f := 0; f <= t; f++ {
+		for _, ex := range variants {
+			err := camp.Submit(kset.Scenario{
+				Label:    fmt.Sprintf("%s/f=%d", ex.Name(), f),
+				Input:    input,
+				FP:       kset.InitialCrashes(n, f),
+				Executor: ex,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	camp.Close()
+
+	// Collect the streamed outcomes by label; order across workers is
+	// arbitrary, the labels are not.
+	rounds := make(map[string]int)
+	for out := range camp.Results() {
+		if out.Err != nil {
+			log.Fatalf("%s: %v", out.Scenario.Label, out.Err)
+		}
+		if out.Verdict != nil && !out.Verdict.OK() {
+			log.Fatalf("%s: %v", out.Scenario.Label, out.Verdict)
+		}
+		rounds[out.Scenario.Label] = out.Result.MaxDecisionRound()
+	}
+	stats, err := camp.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("n=%d t=%d k=%d: plain worst case ⌊t/k⌋+1 = %d rounds\n\n", n, t, k, p.RMax())
 	fmt.Printf("%-4s %-16s %-16s %-18s\n", "f", "plain (Fig. 2)", "early variant", "classical baseline")
 	for f := 0; f <= t; f++ {
-		fp := kset.InitialCrashes(n, f)
-
-		plain, err := kset.Agree(p, cond, input, fp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		early, err := kset.AgreeEarly(p, cond, input, fp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		classical, err := kset.AgreeClassical(n, t, k, input, fp)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for name, res := range map[string]*kset.Result{"plain": plain, "early": early, "classical": classical} {
-			if v := kset.Verify(input, fp, res, k); !v.OK() {
-				log.Fatalf("f=%d %s: %v", f, name, v)
-			}
-		}
-		fmt.Printf("%-4d %-16d %-16d %-18d\n",
-			f, plain.MaxDecisionRound(), early.MaxDecisionRound(), classical.MaxDecisionRound())
+		fmt.Printf("%-4d %-16d %-16d %-18d\n", f,
+			rounds[fmt.Sprintf("figure2/f=%d", f)],
+			rounds[fmt.Sprintf("early/f=%d", f)],
+			rounds[fmt.Sprintf("classical/f=%d", f)])
 	}
-	fmt.Println("\n(early decision tracks the crashes that actually happen;")
+	fmt.Printf("\ncampaign: %d runs, %d violations, %d messages delivered\n",
+		stats.Runs, stats.Violations, stats.MessagesDelivered)
+	fmt.Println("(early decision tracks the crashes that actually happen;")
 	fmt.Println(" with f=0 everyone is done two or three rounds in, whatever t is)")
 }

@@ -1,14 +1,19 @@
-// Quickstart: build a condition, run condition-based k-set agreement, and
-// inspect the result.
+// Quickstart: build a condition, construct a reusable System, run
+// condition-based k-set agreement, and inspect the result.
 //
 // Eight processes propose values; at most t = 5 may crash; decisions must
 // not exceed k = 2 distinct values. Instantiated with a condition of degree
 // d = 3 (a (t−d, ℓ) = (2,1)-legal condition), the algorithm decides in two
 // rounds when the input vector belongs to the condition — instead of the
 // classical ⌊t/k⌋+1 = 3.
+//
+// The System is constructed once — parameters and condition are validated
+// there — and can then be Run as many times, and from as many goroutines,
+// as the workload demands.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,6 +30,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// An input in the condition: value 4 proposed by three processes.
 	input := kset.VectorOf(4, 4, 4, 2, 1, 2, 3, 1)
 	fmt.Printf("input %v belongs to the condition: %v\n", input, cond.Contains(input))
@@ -32,7 +42,7 @@ func main() {
 	// Crash two processes before they say anything.
 	fp := kset.InitialCrashes(p.N, 2)
 
-	res, err := kset.Agree(p, cond, input, fp)
+	res, err := sys.Run(context.Background(), input, fp)
 	if err != nil {
 		log.Fatal(err)
 	}

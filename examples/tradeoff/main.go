@@ -11,9 +11,14 @@
 // The adversary used here crashes t−d+1 processes before they speak, which
 // forces the algorithm's slow path and makes the measured rounds meet the
 // ⌊(d+ℓ−1)/k⌋+1 bound exactly.
+//
+// Each point of the sweep is its own problem instance, so each gets its
+// own System — construction is where parameters and condition are
+// validated, and it is deliberately cheap.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,6 +34,7 @@ func main() {
 
 	// The same heavily-agreeing input is in every condition of the sweep.
 	input := kset.VectorOf(4, 4, 4, 4, 4, 4, 4, 2, 1)
+	ctx := context.Background()
 
 	fmt.Printf("n=%d t=%d k=%d ℓ=%d, input %v\n\n", n, t, k, l, input)
 	fmt.Printf("%-4s %-10s %-22s %-10s %-14s\n",
@@ -42,6 +48,10 @@ func main() {
 		if !cond.Contains(input) {
 			log.Fatalf("d=%d: input unexpectedly outside the condition", d)
 		}
+		sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+		if err != nil {
+			log.Fatal(err)
+		}
 		nb, err := kset.ConditionSize(n, m, p.X(), l)
 		if err != nil {
 			log.Fatal(err)
@@ -53,12 +63,9 @@ func main() {
 
 		// The forcing adversary: more than t−d processes crash before
 		// sending anything (capped at t).
-		crashes := p.X() + 1
-		if crashes > t {
-			crashes = t
-		}
+		crashes := min(p.X()+1, t)
 		fp := kset.InitialCrashes(n, crashes)
-		res, err := kset.Agree(p, cond, input, fp)
+		res, err := sys.Run(ctx, input, fp)
 		if err != nil {
 			log.Fatal(err)
 		}

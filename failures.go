@@ -1,0 +1,56 @@
+package kset
+
+import (
+	"math/rand"
+
+	"kset/internal/adversary"
+)
+
+// CrashSpec schedules one crash for Crashes: process ID crashes during its
+// send phase of Round, after delivering to the first AfterSends processes
+// of its send order.
+type CrashSpec struct {
+	ID         ProcessID
+	Round      int
+	AfterSends int
+}
+
+// Crashes builds a failure pattern from explicit crash schedules, so
+// campaigns can sweep hand-written adversaries without touching the
+// FailurePattern maps directly:
+//
+//	fp := kset.Crashes(
+//		kset.CrashSpec{ID: 6, Round: 1, AfterSends: 2},
+//		kset.CrashSpec{ID: 7, Round: 2},
+//	)
+func Crashes(specs ...CrashSpec) FailurePattern {
+	fp := FailurePattern{Crashes: make(map[ProcessID]Crash, len(specs))}
+	for _, s := range specs {
+		fp.Crashes[s.ID] = Crash{Round: s.Round, AfterSends: s.AfterSends}
+	}
+	return fp
+}
+
+// MidRoundCrashes returns a pattern in which each listed process crashes
+// during its send phase of the given round after delivering to the first
+// ⌈n/2⌉ processes — the adversary that splits a round's receivers into
+// those that heard the crashed sender and those that did not.
+func MidRoundCrashes(n, round int, ids ...ProcessID) FailurePattern {
+	return adversary.MidRound(n, round, ids...)
+}
+
+// RandomCrashes returns a random pattern with at most t crashes within
+// maxRounds rounds, drawn from the seeded source: uniformly random crash
+// subjects, rounds and send prefixes. The same *rand.Rand state yields the
+// same pattern, so seeded sweeps are reproducible.
+func RandomCrashes(r *rand.Rand, n, t, maxRounds int) FailurePattern {
+	return adversary.Random(r, n, t, maxRounds)
+}
+
+// StaggeredCrashes returns the containment-chain worst-case adversary of
+// the agreement proof's counting argument: c1 round-1 crashes with
+// increasing send prefixes, then perRound further crashes per round, until
+// t crashes are spent.
+func StaggeredCrashes(n, t, c1, perRound, maxRounds int) FailurePattern {
+	return adversary.Stagger(n, t, c1, perRound, maxRounds)
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kset/internal/condition"
+	"kset/internal/kerr"
 	"kset/internal/vector"
 )
 
@@ -63,6 +64,10 @@ type Config struct {
 	// Memory selects the snapshot substrate; the algorithm is oblivious to
 	// the choice (both are linearizable).
 	Memory MemoryKind
+	// Cancel, when non-nil, aborts the run early when it is closed (e.g. a
+	// context's Done channel): undecided processes stop re-scanning and are
+	// reported in Outcome.Undecided.
+	Cancel <-chan struct{}
 }
 
 // Outcome reports one asynchronous execution.
@@ -91,19 +96,19 @@ func (o *Outcome) DistinctDecisions() vector.Set {
 func Run(cfg Config) (*Outcome, error) {
 	n := len(cfg.Input)
 	if n < 2 {
-		return nil, fmt.Errorf("async: n=%d, want ≥ 2", n)
+		return nil, fmt.Errorf("async: n=%d, want ≥ 2: %w", n, kerr.ErrBadParams)
 	}
 	if !cfg.Input.IsFull() {
-		return nil, fmt.Errorf("async: input %v has ⊥ entries", cfg.Input)
+		return nil, fmt.Errorf("async: input %v has ⊥ entries: %w", cfg.Input, kerr.ErrBadInput)
 	}
 	if cfg.Cond == nil || cfg.Cond.N() != n {
-		return nil, fmt.Errorf("async: condition missing or sized %d, want %d", condN(cfg.Cond), n)
+		return nil, fmt.Errorf("async: condition missing or sized %d, want %d: %w", condN(cfg.Cond), n, kerr.ErrBadParams)
 	}
 	if cfg.X < 0 || cfg.X >= n {
-		return nil, fmt.Errorf("async: x=%d, want 0 ≤ x < n", cfg.X)
+		return nil, fmt.Errorf("async: x=%d, want 0 ≤ x < n: %w", cfg.X, kerr.ErrBadParams)
 	}
 	if len(cfg.Crashes) > cfg.X {
-		return nil, fmt.Errorf("async: %d crashes exceed x=%d", len(cfg.Crashes), cfg.X)
+		return nil, fmt.Errorf("async: %d crashes exceed x=%d: %w", len(cfg.Crashes), cfg.X, kerr.ErrBadParams)
 	}
 	patience := cfg.Patience
 	if patience <= 0 {
@@ -190,7 +195,15 @@ func Run(cfg Config) (*Outcome, error) {
 					mu.Unlock()
 					return
 				}
-				if time.Now().After(deadline) {
+				cancelled := false
+				if cfg.Cancel != nil {
+					select {
+					case <-cfg.Cancel:
+						cancelled = true
+					default:
+					}
+				}
+				if cancelled || time.Now().After(deadline) {
 					mu.Lock()
 					out.Undecided = append(out.Undecided, id)
 					mu.Unlock()

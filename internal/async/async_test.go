@@ -166,7 +166,7 @@ func TestSafetyOutsideCondition(t *testing.T) {
 // explicit single-vector condition.)
 func TestBlockingOutsideCondition(t *testing.T) {
 	n, x := 4, 1
-	c := condition.NewExplicit(n, 4, 1)
+	c := condition.MustNewExplicit(n, 4, 1)
 	c.MustAdd(vector.OfInts(1, 1, 2, 3), vector.SetOf(1))
 	if v := condition.Check(c, x, condition.CheckOptions{}); v != nil {
 		t.Fatalf("witness condition not (1,1)-legal: %v", v)

@@ -26,6 +26,7 @@ package condition
 import (
 	"fmt"
 
+	"kset/internal/kerr"
 	"kset/internal/vector"
 )
 
@@ -82,15 +83,32 @@ type Explicit struct {
 }
 
 // NewExplicit creates an empty explicit condition over {1..m}^n with
-// parameter ℓ. It panics when m exceeds the 64-value domain cap of the
+// parameter ℓ. It rejects an m beyond the 64-value domain cap of the
 // bitmask value sets (vector.MaxSetValue): such a condition could never
-// hold a vector using the values past the cap, so rejecting the
+// hold a vector using the values past the cap, so refusing the
 // parameterization up front beats every Add failing.
-func NewExplicit(n, m, l int) *Explicit {
-	if m > int(vector.MaxSetValue) {
-		panic(fmt.Sprintf("condition: explicit condition over m=%d values exceeds the value-domain cap %d", m, vector.MaxSetValue))
+func NewExplicit(n, m, l int) (*Explicit, error) {
+	switch {
+	case n < 1:
+		return nil, fmt.Errorf("condition: explicit: n=%d, want ≥ 1: %w", n, kerr.ErrBadParams)
+	case m < 1:
+		return nil, fmt.Errorf("condition: explicit: m=%d, want ≥ 1: %w", m, kerr.ErrBadParams)
+	case m > int(vector.MaxSetValue):
+		return nil, fmt.Errorf("condition: explicit: m=%d exceeds the cap %d: %w", m, vector.MaxSetValue, kerr.ErrDomainTooLarge)
+	case l < 1:
+		return nil, fmt.Errorf("condition: explicit: ℓ=%d, want ≥ 1: %w", l, kerr.ErrBadParams)
 	}
-	return &Explicit{n: n, m: m, l: l, keys64: make(map[uint64]int), keys: make(map[string]int)}
+	return &Explicit{n: n, m: m, l: l, keys64: make(map[uint64]int), keys: make(map[string]int)}, nil
+}
+
+// MustNewExplicit is NewExplicit that panics on error; for tests and fixed
+// constructions whose parameters are known good.
+func MustNewExplicit(n, m, l int) *Explicit {
+	c, err := NewExplicit(n, m, l)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // lookup finds the member index of i, using the packed integer key when i

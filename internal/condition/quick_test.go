@@ -20,7 +20,7 @@ func TestQuickSubconditionsStayLegal(t *testing.T) {
 		x := r.Intn(n - 1)
 		l := 1 + r.Intn(2)
 		full := MustNewMax(n, m, x, l)
-		sub := NewExplicit(n, m, l)
+		sub := MustNewExplicit(n, m, l)
 		full.ForEachMember(func(i vector.Vector) bool {
 			if r.Intn(3) == 0 {
 				sub.MustAdd(i.Clone(), i.TopL(l))

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"kset/internal/rounds"
 	"kset/internal/vector"
 )
@@ -27,13 +25,10 @@ var _ rounds.Process = (*ClassicalProcess)(nil)
 // NewClassicalRun builds the n baseline protocol instances for the input
 // vector.
 func NewClassicalRun(n, t, k int, input vector.Vector) ([]rounds.Process, error) {
-	if n < 2 || t < 1 || t >= n || k < 1 {
-		return nil, fmt.Errorf("core: classical: bad parameters n=%d t=%d k=%d", n, t, k)
+	if err := ValidateClassical(n, t, k); err != nil {
+		return nil, err
 	}
-	if len(input) != n || !input.IsFull() {
-		return nil, fmt.Errorf("core: classical: bad input vector %v", input)
-	}
-	if err := validateInputDomain(input); err != nil {
+	if err := ValidateInput(n, input); err != nil {
 		return nil, err
 	}
 	procs := make([]rounds.Process, n)
@@ -62,11 +57,13 @@ func (c *ClassicalProcess) Step(round int, recv []any) (vector.Value, bool) {
 	return vector.Bottom, false
 }
 
-// RunClassical executes the baseline to completion.
+// RunClassical executes the baseline to completion on a pooled Runner.
 func RunClassical(n, t, k int, input vector.Vector, fp rounds.FailurePattern, concurrent bool) (*rounds.Result, error) {
-	procs, err := NewClassicalRun(n, t, k, input)
-	if err != nil {
+	if err := ValidateClassical(n, t, k); err != nil {
 		return nil, err
 	}
-	return runPooled(procs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent})
+	r := GetRunner()
+	res, err := r.RunClassical(n, t, k, input, fp, concurrent, nil)
+	PutRunner(r)
+	return res, err
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"kset/internal/condition"
 	"kset/internal/rounds"
 	"kset/internal/vector"
@@ -101,6 +99,11 @@ func (e *earlyTracker) raise(guard bool) {
 type EarlyCondProcess struct {
 	inner *CondProcess
 	early *earlyTracker
+
+	// unwrapped is the reusable buffer Step unwraps each round's EarlyMsg
+	// payloads into; the engine's lock-step structure (the inner Step
+	// consumes it before Step returns) makes the reuse safe.
+	unwrapped []any
 }
 
 var _ rounds.Process = (*EarlyCondProcess)(nil)
@@ -127,10 +130,15 @@ func (e *EarlyCondProcess) Send(round int) any {
 // Step implements rounds.Process.
 func (e *EarlyCondProcess) Step(round int, recv []any) (vector.Value, bool) {
 	decideNow := e.early.observe(round, recv)
-	unwrapped := make([]any, len(recv))
+	if cap(e.unwrapped) < len(recv) {
+		e.unwrapped = make([]any, len(recv))
+	}
+	unwrapped := e.unwrapped[:len(recv)]
 	for i, payload := range recv {
 		if payload != nil {
 			unwrapped[i] = payload.(EarlyMsg).Payload
+		} else {
+			unwrapped[i] = nil
 		}
 	}
 	if round == 1 {
@@ -159,13 +167,16 @@ func (e *EarlyCondProcess) Step(round int, recv []any) (vector.Value, bool) {
 	return vector.Bottom, false
 }
 
-// RunEarly executes the early-deciding condition-based algorithm.
+// RunEarly executes the early-deciding condition-based algorithm on a
+// pooled Runner, reusing its process cells, trackers and view storage.
 func RunEarly(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool) (*rounds.Result, error) {
-	procs, err := NewEarlyRun(p, c, input)
-	if err != nil {
+	if err := p.ValidateWith(c); err != nil {
 		return nil, err
 	}
-	return runPooled(procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
+	r := GetRunner()
+	res, err := r.RunEarly(p, c, input, fp, concurrent, nil)
+	PutRunner(r)
+	return res, err
 }
 
 // EarlyClassicalProcess is the classical flood algorithm extended with the
@@ -181,13 +192,10 @@ var _ rounds.Process = (*EarlyClassicalProcess)(nil)
 
 // NewEarlyClassicalRun builds the n early-deciding baseline instances.
 func NewEarlyClassicalRun(n, t, k int, input vector.Vector) ([]rounds.Process, error) {
-	if n < 2 || t < 1 || t >= n || k < 1 {
-		return nil, fmt.Errorf("core: early classical: bad parameters n=%d t=%d k=%d", n, t, k)
+	if err := ValidateClassical(n, t, k); err != nil {
+		return nil, err
 	}
-	if len(input) != n || !input.IsFull() {
-		return nil, fmt.Errorf("core: early classical: bad input vector %v", input)
-	}
-	if err := validateInputDomain(input); err != nil {
+	if err := ValidateInput(n, input); err != nil {
 		return nil, err
 	}
 	procs := make([]rounds.Process, n)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"kset/internal/condition"
+	"kset/internal/kerr"
 )
 
 // Params fixes one instance of the synchronous k-set agreement problem and
@@ -37,15 +38,15 @@ type Params struct {
 func (p Params) Validate() error {
 	switch {
 	case p.N < 2:
-		return fmt.Errorf("core: n=%d, want ≥ 2", p.N)
+		return fmt.Errorf("core: n=%d, want ≥ 2: %w", p.N, kerr.ErrBadParams)
 	case p.T < 1 || p.T >= p.N:
-		return fmt.Errorf("core: t=%d, want 1 ≤ t < n=%d", p.T, p.N)
+		return fmt.Errorf("core: t=%d, want 1 ≤ t < n=%d: %w", p.T, p.N, kerr.ErrBadParams)
 	case p.K < 1:
-		return fmt.Errorf("core: k=%d, want ≥ 1", p.K)
+		return fmt.Errorf("core: k=%d, want ≥ 1: %w", p.K, kerr.ErrBadParams)
 	case p.L < 1 || p.L > p.K:
-		return fmt.Errorf("core: ℓ=%d, want 1 ≤ ℓ ≤ k=%d", p.L, p.K)
+		return fmt.Errorf("core: ℓ=%d, want 1 ≤ ℓ ≤ k=%d: %w", p.L, p.K, kerr.ErrBadParams)
 	case p.D < 0 || p.D > p.T:
-		return fmt.Errorf("core: d=%d, want 0 ≤ d ≤ t=%d", p.D, p.T)
+		return fmt.Errorf("core: d=%d, want 0 ≤ d ≤ t=%d: %w", p.D, p.T, kerr.ErrBadParams)
 	}
 	return nil
 }
@@ -97,13 +98,22 @@ func (p Params) ValidateWith(c condition.Condition) error {
 		return err
 	}
 	if c == nil {
-		return fmt.Errorf("core: nil condition")
+		return fmt.Errorf("core: nil condition: %w", kerr.ErrBadParams)
 	}
 	if c.N() != p.N {
-		return fmt.Errorf("core: condition over n=%d vectors, params have n=%d", c.N(), p.N)
+		return fmt.Errorf("core: condition over n=%d vectors, params have n=%d: %w", c.N(), p.N, kerr.ErrBadParams)
 	}
 	if c.L() != p.L {
-		return fmt.Errorf("core: condition has ℓ=%d, params have ℓ=%d", c.L(), p.L)
+		return fmt.Errorf("core: condition has ℓ=%d, params have ℓ=%d: %w", c.L(), p.L, kerr.ErrBadParams)
+	}
+	return nil
+}
+
+// ValidateClassical checks the parameter ranges of the classical
+// (condition-free) baseline.
+func ValidateClassical(n, t, k int) error {
+	if n < 2 || t < 1 || t >= n || k < 1 {
+		return fmt.Errorf("core: classical: bad parameters n=%d t=%d k=%d: %w", n, t, k, kerr.ErrBadParams)
 	}
 	return nil
 }

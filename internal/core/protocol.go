@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"kset/internal/condition"
+	"kset/internal/kerr"
 	"kset/internal/rounds"
 	"kset/internal/vector"
 )
@@ -49,11 +50,18 @@ func validateRun(p Params, c condition.Condition, input vector.Vector) error {
 	if err := p.ValidateWith(c); err != nil {
 		return err
 	}
-	if len(input) != p.N {
-		return fmt.Errorf("core: input vector has %d entries, want %d", len(input), p.N)
+	return ValidateInput(p.N, input)
+}
+
+// ValidateInput checks a run's input vector: n entries, no ⊥, and every
+// value within the bitmask domain cap. It is the only check the Runner hot
+// paths perform per run — everything else is established at construction.
+func ValidateInput(n int, input vector.Vector) error {
+	if len(input) != n {
+		return fmt.Errorf("core: input vector has %d entries, want %d: %w", len(input), n, kerr.ErrBadInput)
 	}
 	if !input.IsFull() {
-		return fmt.Errorf("core: input vector %v has ⊥ entries", input)
+		return fmt.Errorf("core: input vector %v has ⊥ entries: %w", input, kerr.ErrBadInput)
 	}
 	return validateInputDomain(input)
 }
@@ -63,7 +71,7 @@ func validateRun(p Params, c condition.Condition, input vector.Vector) error {
 func validateInputDomain(input vector.Vector) error {
 	for _, v := range input {
 		if v > vector.MaxSetValue {
-			return fmt.Errorf("core: input value %v beyond the value-domain cap %d", v, vector.MaxSetValue)
+			return fmt.Errorf("core: input value %v beyond the value-domain cap %d: %w", v, vector.MaxSetValue, kerr.ErrDomainTooLarge)
 		}
 	}
 	return nil
@@ -185,19 +193,15 @@ func maxValue(a, b vector.Value) vector.Value {
 }
 
 // Run executes one complete instance of the algorithm and returns the
-// engine result. It is a convenience wrapper over Engine.Run with the
-// protocol's own round bound; the per-run process state and the engine
-// scratch both come from pools, so sweeps of many runs stay cheap.
+// engine result. It is a convenience wrapper over Runner.RunCond on a
+// pooled Runner; sweeps with a dedicated worker should hold their own
+// Runner instead.
 func Run(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool) (*rounds.Result, error) {
-	if err := validateRun(p, c, input); err != nil {
+	if err := p.ValidateWith(c); err != nil {
 		return nil, err
 	}
-	st := newCondRunState(p.N)
-	for i := 0; i < p.N; i++ {
-		st.cells[i] = newCondProcess(p, c, input, i, st.views[i*p.N:(i+1)*p.N])
-		st.procs[i] = &st.cells[i]
-	}
-	res, err := runPooled(st.procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
-	condRunPool.Put(st)
+	r := GetRunner()
+	res, err := r.RunCond(p, c, input, fp, concurrent, nil)
+	PutRunner(r)
 	return res, err
 }

@@ -260,7 +260,7 @@ func E10Async() Report {
 
 	// Blocking face: an explicit condition none of whose members matches
 	// any view of the input.
-	blocker := condition.NewExplicit(4, 4, 1)
+	blocker := condition.MustNewExplicit(4, 4, 1)
 	blocker.MustAdd(vector.OfInts(1, 1, 2, 3), vector.SetOf(1))
 	out, err := async.Run(async.Config{
 		X: 1, Cond: blocker, Input: vector.OfInts(2, 2, 3, 1), Seed: 5, Patience: 100 * time.Millisecond,

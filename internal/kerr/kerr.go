@@ -1,0 +1,23 @@
+// Package kerr holds the sentinel errors shared by every constructor and
+// run entry point of the module. The internal packages wrap them with
+// fmt.Errorf("...: %w", ...) so callers can classify failures with
+// errors.Is while still reading a precise message; the root kset package
+// re-exports them as kset.ErrBadParams, kset.ErrDomainTooLarge and
+// kset.ErrBadInput.
+package kerr
+
+import "errors"
+
+var (
+	// ErrBadParams marks invalid problem or condition parameters
+	// (n, t, k, d, ℓ, x, m ranges, mismatched dimensions, nil conditions).
+	ErrBadParams = errors.New("invalid parameters")
+
+	// ErrDomainTooLarge marks a value domain beyond the 64-value cap of
+	// the bitmask value sets, or an input value past it.
+	ErrDomainTooLarge = errors.New("value domain exceeds the 64-value cap")
+
+	// ErrBadInput marks a malformed input vector for a run: wrong length,
+	// ⊥ entries, or values outside the proposable range.
+	ErrBadInput = errors.New("invalid input vector")
+)

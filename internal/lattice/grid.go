@@ -38,7 +38,7 @@ func (f Fact) Verified() bool {
 // maxExplicit materializes the max_ℓ-generated (x,ℓ)-legal condition as an
 // explicit condition over {1..m}^n.
 func maxExplicit(n, m, x, l int) *condition.Explicit {
-	c := condition.NewExplicit(n, m, l)
+	c := condition.MustNewExplicit(n, m, l)
 	vector.ForEach(n, m, func(i vector.Vector) bool {
 		if i.MassOf(i.TopL(l)) > x {
 			c.MustAdd(i.Clone(), i.TopL(l))

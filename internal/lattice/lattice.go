@@ -50,7 +50,7 @@ func Theorem5Condition(n, m, x, l int) (*condition.Explicit, error) {
 	if x+1 > n {
 		return nil, fmt.Errorf("lattice: theorem 5 needs x+1 ≤ n, got x=%d n=%d", x, n)
 	}
-	c := condition.NewExplicit(n, m, l)
+	c := condition.MustNewExplicit(n, m, l)
 	var addErr error
 	vector.ForEach(n, m, func(i vector.Vector) bool {
 		if i.MassOf(i.TopL(l)) == x+1 && densestMass(i, l) <= x+1 {
@@ -76,7 +76,7 @@ func Theorem5Condition(n, m, x, l int) (*condition.Explicit, error) {
 // occupies at most x — so no ℓ-value recognizing function can satisfy the
 // density property. The returned condition carries ℓ+1 as its L.
 func Theorem7Condition(n, m, x, l int) (*condition.Explicit, error) {
-	c := condition.NewExplicit(n, m, l+1)
+	c := condition.MustNewExplicit(n, m, l+1)
 	var addErr error
 	vector.ForEach(n, m, func(i vector.Vector) bool {
 		if i.MassOf(i.TopL(l+1)) > x && densestMass(i, l) <= x {
@@ -103,7 +103,7 @@ func Theorem7Condition(n, m, x, l int) (*condition.Explicit, error) {
 // value of I otherwise (we take the greatest value outside h_ℓ(I)). If the
 // input is (x,ℓ)-legal the output is (x,ℓ+1)-legal.
 func BoostL(c *condition.Explicit) (*condition.Explicit, error) {
-	out := condition.NewExplicit(c.N(), c.M(), c.L()+1)
+	out := condition.MustNewExplicit(c.N(), c.M(), c.L()+1)
 	for _, i := range c.Members() {
 		h := c.Recognize(i)
 		g := h
@@ -121,7 +121,7 @@ func BoostL(c *condition.Explicit) (*condition.Explicit, error) {
 // vector of {1..m}^n, recognized by max_ℓ. By Theorems 8 and 9 it is
 // (x,ℓ)-legal iff ℓ > x.
 func AllVectorsCondition(n, m, l int) *condition.Explicit {
-	c := condition.NewExplicit(n, m, l)
+	c := condition.MustNewExplicit(n, m, l)
 	vector.ForEach(n, m, func(i vector.Vector) bool {
 		c.MustAdd(i.Clone(), i.TopL(l))
 		return true
@@ -135,7 +135,7 @@ func AllVectorsCondition(n, m, l int) *condition.Explicit {
 // proves it is not (2,2)-legal.
 func Table1Condition() *condition.Explicit {
 	const a, b, c, d = 1, 2, 3, 4
-	cond := condition.NewExplicit(4, 4, 1)
+	cond := condition.MustNewExplicit(4, 4, 1)
 	cond.MustAdd(vector.OfInts(a, a, c, d), vector.SetOf(a))
 	cond.MustAdd(vector.OfInts(b, b, c, d), vector.SetOf(b))
 	cond.MustAdd(vector.OfInts(a, b, c, c), vector.SetOf(c))
@@ -147,7 +147,7 @@ func Table1Condition() *condition.Explicit {
 // recognized by max_l; it is the form handed to the legality decider when
 // asking whether any recognizing function for a different ℓ exists.
 func WithL(c *condition.Explicit, l int) *condition.Explicit {
-	out := condition.NewExplicit(c.N(), c.M(), l)
+	out := condition.MustNewExplicit(c.N(), c.M(), l)
 	for _, i := range c.Members() {
 		out.MustAdd(i, i.TopL(l))
 	}
@@ -182,7 +182,7 @@ func Theorem15Condition(n, x, l int) (*condition.Explicit, error) {
 	if tail < l+1 {
 		return nil, fmt.Errorf("lattice: theorem 15 internal: tail %d < ℓ+1", tail)
 	}
-	c := condition.NewExplicit(n, tail, l+1)
+	c := condition.MustNewExplicit(n, tail, l+1)
 	uniform := vector.SetOf()
 	for v := 1; v <= l+1; v++ {
 		uniform = uniform.Add(vector.Value(v))

@@ -150,6 +150,29 @@ type Result struct {
 	MessagesDelivered int64
 }
 
+// Reset clears the result for reuse, retaining its map storage. Batch
+// drivers that only aggregate statistics pass a recycled Result to
+// Engine.RunInto and skip the per-run map allocations entirely.
+func (r *Result) Reset() {
+	if r.Decisions == nil {
+		r.Decisions = make(map[ProcessID]vector.Value)
+	} else {
+		clear(r.Decisions)
+	}
+	if r.DecisionRound == nil {
+		r.DecisionRound = make(map[ProcessID]int)
+	} else {
+		clear(r.DecisionRound)
+	}
+	if r.Crashed == nil {
+		r.Crashed = make(map[ProcessID]bool)
+	} else {
+		clear(r.Crashed)
+	}
+	r.Rounds = 0
+	r.MessagesDelivered = 0
+}
+
 // MaxDecisionRound returns the latest round at which any process decided
 // (0 when nothing was decided).
 func (r *Result) MaxDecisionRound() int {
@@ -256,6 +279,14 @@ func (e *Engine) reset(n int) {
 // The returned Result is freshly allocated and remains valid after further
 // Run calls; only the engine's internal scratch is reused.
 func (e *Engine) Run(procs []Process, fp FailurePattern, opts Options) (*Result, error) {
+	return e.RunInto(nil, procs, fp, opts)
+}
+
+// RunInto is Run writing into a caller-provided Result, which is cleared
+// (Reset) and returned; res == nil allocates a fresh one. Sweeps that only
+// read each result before the next run recycle one Result and make the
+// whole run allocation-free.
+func (e *Engine) RunInto(res *Result, procs []Process, fp FailurePattern, opts Options) (*Result, error) {
 	n := len(procs)
 	if n == 0 {
 		return nil, fmt.Errorf("rounds: no processes")
@@ -273,10 +304,14 @@ func (e *Engine) Run(procs []Process, fp FailurePattern, opts Options) (*Result,
 	}
 
 	e.reset(n)
-	res := &Result{
-		Decisions:     make(map[ProcessID]vector.Value, n),
-		DecisionRound: make(map[ProcessID]int, n),
-		Crashed:       make(map[ProcessID]bool, fp.NumCrashes()),
+	if res == nil {
+		res = &Result{
+			Decisions:     make(map[ProcessID]vector.Value, n),
+			DecisionRound: make(map[ProcessID]int, n),
+			Crashed:       make(map[ProcessID]bool, fp.NumCrashes()),
+		}
+	} else {
+		res.Reset()
 	}
 
 	if opts.Trace != nil {

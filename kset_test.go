@@ -31,7 +31,10 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestFacadeConditions(t *testing.T) {
-	c := kset.NewExplicitCondition(4, 4, 1)
+	c, err := kset.NewExplicitCondition(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := c.Add(kset.VectorOf(1, 1, 2, 3), kset.SetOf(1)); err != nil {
 		t.Fatal(err)
 	}

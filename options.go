@@ -1,0 +1,54 @@
+package kset
+
+import "time"
+
+// Option configures a System at construction time. Every parameter an
+// option sets is validated once inside New, which is what keeps the
+// System's Run hot path free of per-call validation.
+type Option func(*System)
+
+// WithParams fixes the problem instance (n, t, k, d, ℓ). Required.
+func WithParams(p Params) Option {
+	return func(s *System) { s.p = p; s.hasParams = true }
+}
+
+// WithCondition instantiates the algorithms with the given (x,ℓ)-legal
+// condition. Required for every executor except Classical.
+func WithCondition(c Condition) Option {
+	return func(s *System) { s.cond = c }
+}
+
+// WithExecutor selects the default algorithm the System runs: Figure2
+// (the default), EarlyDeciding, Classical or Asynchronous. Individual
+// campaign scenarios may still override it per run.
+func WithExecutor(e Executor) Option {
+	return func(s *System) { s.exec = e }
+}
+
+// WithWorkers sets the default campaign worker-pool size (default:
+// GOMAXPROCS). Each worker owns its engine and protocol buffers, so the
+// count bounds both parallelism and resident scratch memory.
+func WithWorkers(n int) Option {
+	return func(s *System) { s.workers = n }
+}
+
+// WithProcessGoroutines makes synchronous runs execute each round's
+// compute phase in per-process goroutines — the executor that models the
+// paper's "n processes" faithfully and exercises protocols under the race
+// detector. The default is the in-line executor, which is semantically
+// identical and much faster.
+func WithProcessGoroutines() Option {
+	return func(s *System) { s.procGoroutines = true }
+}
+
+// WithAsyncMemory selects the shared-memory substrate of Asynchronous
+// runs: MutexMemory (default), WaitFreeMemory or MessagePassingMemory.
+func WithAsyncMemory(kind MemoryKind) Option {
+	return func(s *System) { s.asyncMemory = kind }
+}
+
+// WithAsyncPatience bounds how long an undecided asynchronous process
+// keeps re-scanning before giving up (default 300ms).
+func WithAsyncPatience(d time.Duration) Option {
+	return func(s *System) { s.asyncPatience = d }
+}

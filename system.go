@@ -1,0 +1,268 @@
+package kset
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"kset/internal/async"
+	"kset/internal/core"
+	"kset/internal/rounds"
+)
+
+// System is a reusable, concurrency-safe handle on one agreement problem
+// instance: parameters, condition and executor are fixed and validated at
+// construction, so the Run hot path performs no per-call validation beyond
+// the input vector itself. A System owns pooled per-worker engine and
+// protocol state; concurrent Run calls and campaign workers check workers
+// out of the pool, so sweeps of millions of executions allocate almost
+// nothing per run.
+//
+//	sys, err := kset.New(
+//		kset.WithParams(kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}),
+//		kset.WithCondition(cond),
+//	)
+//	res, err := sys.Run(ctx, input, fp)
+//
+// For batches, see NewCampaign and RunCampaign.
+type System struct {
+	p         Params
+	hasParams bool
+	cond      Condition
+	exec      Executor
+
+	workers        int
+	procGoroutines bool
+	asyncMemory    MemoryKind
+	asyncPatience  time.Duration
+}
+
+// New constructs a System from functional options, validating the
+// parameters, the condition's dimensions and the executor's requirements
+// up front. Errors wrap ErrBadParams or ErrDomainTooLarge.
+func New(opts ...Option) (*System, error) {
+	s := &System{exec: Figure2, workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if !s.hasParams {
+		return nil, fmt.Errorf("kset: no parameters (use WithParams): %w", ErrBadParams)
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	if err := s.exec.check(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Params returns the system's problem parameters.
+func (s *System) Params() Params { return s.p }
+
+// Condition returns the system's condition (nil for condition-free
+// Classical systems).
+func (s *System) Condition() Condition { return s.cond }
+
+// Executor returns the system's default executor.
+func (s *System) Executor() Executor { return s.exec }
+
+// Run executes one agreement run of the system's executor on the given
+// input vector and failure pattern. It is safe for concurrent use: each
+// call checks a worker (engine + protocol buffers) out of a shared pool.
+// The returned Result is freshly allocated and may be retained.
+//
+// Cancellation: the context is checked before the run and, for
+// Asynchronous executions, aborts undecided processes mid-run.
+// Synchronous runs are microsecond-scale and run to completion once
+// started.
+func (s *System) Run(ctx context.Context, input Vector, fp FailurePattern) (*Result, error) {
+	return s.RunScenario(ctx, Scenario{Input: input, FP: fp})
+}
+
+// RunScenario is Run for a full scenario, honoring its executor override,
+// async seed and crash points.
+func (s *System) RunScenario(ctx context.Context, sc Scenario) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ex, err := s.resolveExecutor(&sc)
+	if err != nil {
+		return nil, err
+	}
+	w := getWorker()
+	res, err := ex.run(ctx, s, w, &sc, nil)
+	putWorker(w)
+	return res, err
+}
+
+// resolveExecutor picks the scenario's executor: the system default (already
+// validated at construction) or the scenario override, which is checked
+// against the system here.
+func (s *System) resolveExecutor(sc *Scenario) (Executor, error) {
+	if sc.Executor == nil {
+		return s.exec, nil
+	}
+	if err := sc.Executor.check(s); err != nil {
+		return nil, err
+	}
+	return sc.Executor, nil
+}
+
+// Scenario is one unit of campaign work: an input vector under a failure
+// pattern, optionally overriding the system's executor.
+type Scenario struct {
+	// Label optionally tags the scenario; it travels into the Outcome.
+	Label string
+	// Input is the full input vector (entry i proposed by process i+1).
+	Input Vector
+	// FP is the synchronous crash adversary. Asynchronous runs map it to
+	// crash points: a round-1 crash before any send becomes
+	// CrashBeforeWrite, every other crash CrashAfterWrite.
+	FP FailurePattern
+	// Executor overrides the system's executor for this scenario (nil =
+	// system default).
+	Executor Executor
+	// Seed drives the scheduling jitter of Asynchronous runs.
+	Seed int64
+	// AsyncCrashes, when non-nil, replaces the FP mapping for
+	// Asynchronous runs.
+	AsyncCrashes map[int]CrashPoint
+}
+
+// Executor selects which agreement algorithm a System runs. The four
+// implementations — Figure2, EarlyDeciding, Classical and Asynchronous —
+// present the paper's algorithms behind one interface; the interface is
+// sealed (its methods are unexported) because executors reach into the
+// System's pooled worker state.
+type Executor interface {
+	// Name returns a short stable identifier for tables and labels.
+	Name() string
+	// check validates the system's configuration for this executor.
+	check(s *System) error
+	// run executes one scenario on worker w. res, when non-nil, is a
+	// recycled Result to write into; nil allocates fresh.
+	run(ctx context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error)
+	// synchronous reports whether results carry round and verdict
+	// semantics (false for Asynchronous).
+	synchronous() bool
+}
+
+// The four executors.
+var (
+	// Figure2 is the paper's synchronous condition-based k-set agreement
+	// algorithm: max(2, ⌊(d+ℓ−1)/k⌋+1) rounds when the input is in the
+	// condition, ⌊t/k⌋+1 otherwise.
+	Figure2 Executor = figure2Exec{}
+	// EarlyDeciding is the Section-8 extension: additionally never later
+	// than min(⌊f/k⌋+3, the plain bounds), f the number of actual crashes.
+	EarlyDeciding Executor = earlyExec{}
+	// Classical is the condition-free flood baseline: exactly ⌊t/k⌋+1
+	// rounds. It ignores the system's condition.
+	Classical Executor = classicalExec{}
+	// Asynchronous is the Section-4 condition-based ℓ-set agreement
+	// algorithm over an atomic-snapshot memory. Results have no rounds
+	// (Result.Rounds is 0); undecided processes are absent from
+	// Result.Decisions.
+	Asynchronous Executor = asyncExec{}
+)
+
+type figure2Exec struct{}
+
+func (figure2Exec) Name() string      { return "figure2" }
+func (figure2Exec) synchronous() bool { return true }
+func (figure2Exec) check(s *System) error {
+	return s.p.ValidateWith(s.cond)
+}
+func (figure2Exec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
+	return w.runner.RunCond(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, res)
+}
+
+type earlyExec struct{}
+
+func (earlyExec) Name() string      { return "early" }
+func (earlyExec) synchronous() bool { return true }
+func (earlyExec) check(s *System) error {
+	return s.p.ValidateWith(s.cond)
+}
+func (earlyExec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
+	return w.runner.RunEarly(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, res)
+}
+
+type classicalExec struct{}
+
+func (classicalExec) Name() string      { return "classical" }
+func (classicalExec) synchronous() bool { return true }
+func (classicalExec) check(s *System) error {
+	return core.ValidateClassical(s.p.N, s.p.T, s.p.K)
+}
+func (classicalExec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
+	return w.runner.RunClassical(s.p.N, s.p.T, s.p.K, sc.Input, sc.FP, s.procGoroutines, res)
+}
+
+type asyncExec struct{}
+
+func (asyncExec) Name() string      { return "async" }
+func (asyncExec) synchronous() bool { return false }
+func (asyncExec) check(s *System) error {
+	return s.p.ValidateWith(s.cond)
+}
+func (asyncExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
+	crashes := sc.AsyncCrashes
+	if crashes == nil && len(sc.FP.Crashes) > 0 {
+		crashes = make(map[int]CrashPoint, len(sc.FP.Crashes))
+		for id, cr := range sc.FP.Crashes {
+			if cr.Round == 1 && cr.AfterSends == 0 {
+				crashes[int(id)] = CrashBeforeWrite
+			} else {
+				crashes[int(id)] = CrashAfterWrite
+			}
+		}
+	}
+	out, err := async.Run(async.Config{
+		X:        s.p.X(),
+		Cond:     s.cond,
+		Input:    sc.Input,
+		Crashes:  crashes,
+		Seed:     sc.Seed,
+		Patience: s.asyncPatience,
+		Memory:   s.asyncMemory,
+		Cancel:   ctx.Done(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A cancellation that left processes undecided is an aborted run; a
+	// run that completed despite a late cancel is still a result.
+	if err := ctx.Err(); err != nil && len(out.Undecided) > 0 {
+		return nil, err
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	res.Reset()
+	for id, v := range out.Decisions {
+		res.Decisions[ProcessID(id)] = v
+	}
+	for id := range crashes {
+		res.Crashed[ProcessID(id)] = true
+	}
+	return res, nil
+}
+
+// worker bundles the per-worker reusable state of a System: the engine and
+// protocol buffers, and a recycled Result for stats-only campaign runs.
+type worker struct {
+	runner *core.Runner
+	res    *rounds.Result
+}
+
+// workerPool is shared by every System: workers carry no per-System state,
+// so short-lived Systems — including the deprecated free functions, which
+// construct one per call — still reuse warmed engine buffers.
+var workerPool = sync.Pool{New: func() any { return &worker{runner: core.NewRunner()} }}
+
+func getWorker() *worker  { return workerPool.Get().(*worker) }
+func putWorker(w *worker) { workerPool.Put(w) }

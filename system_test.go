@@ -1,0 +1,265 @@
+package kset_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kset"
+)
+
+func testParams() kset.Params { return kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1} }
+
+func testCondition(t *testing.T, p kset.Params) kset.Condition {
+	t.Helper()
+	c, err := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testSystem(t *testing.T, opts ...kset.Option) *kset.System {
+	t.Helper()
+	sys, err := kset.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestNewValidation pins the construction-time validation of New and the
+// sentinel classification of every error path.
+func TestNewValidation(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	smaller := func() kset.Condition {
+		c, err := kset.NewMaxCondition(5, 4, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}()
+
+	cases := []struct {
+		name string
+		opts []kset.Option
+		want error
+	}{
+		{"no params", []kset.Option{kset.WithCondition(cond)}, kset.ErrBadParams},
+		{"bad n", []kset.Option{kset.WithParams(kset.Params{N: 1, T: 1, K: 1, L: 1}), kset.WithCondition(cond)}, kset.ErrBadParams},
+		{"bad t", []kset.Option{kset.WithParams(kset.Params{N: 6, T: 6, K: 2, D: 1, L: 1}), kset.WithCondition(cond)}, kset.ErrBadParams},
+		{"l above k", []kset.Option{kset.WithParams(kset.Params{N: 6, T: 3, K: 1, D: 1, L: 2}), kset.WithCondition(cond)}, kset.ErrBadParams},
+		{"nil condition", []kset.Option{kset.WithParams(p)}, kset.ErrBadParams},
+		{"condition size mismatch", []kset.Option{kset.WithParams(p), kset.WithCondition(smaller)}, kset.ErrBadParams},
+		{"nil condition async", []kset.Option{kset.WithParams(p), kset.WithExecutor(kset.Asynchronous)}, kset.ErrBadParams},
+		{"classical without condition", []kset.Option{kset.WithParams(p), kset.WithExecutor(kset.Classical)}, nil},
+		{"figure2 ok", []kset.Option{kset.WithParams(p), kset.WithCondition(cond)}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := kset.New(tc.opts...)
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("New: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("New error = %v, want errors.Is(%v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestConditionConstructorSentinels pins the unified error handling of the
+// condition constructors, including the previously panicking explicit one.
+func TestConditionConstructorSentinels(t *testing.T) {
+	if _, err := kset.NewMaxCondition(6, 100, 2, 1); !errors.Is(err, kset.ErrDomainTooLarge) {
+		t.Errorf("NewMaxCondition m=100: %v, want ErrDomainTooLarge", err)
+	}
+	if _, err := kset.NewMinCondition(0, 4, 2, 1); !errors.Is(err, kset.ErrBadParams) {
+		t.Errorf("NewMinCondition n=0: %v, want ErrBadParams", err)
+	}
+	if _, err := kset.NewExplicitCondition(4, 100, 1); !errors.Is(err, kset.ErrDomainTooLarge) {
+		t.Errorf("NewExplicitCondition m=100: %v, want ErrDomainTooLarge", err)
+	}
+	if _, err := kset.NewExplicitCondition(4, 4, 0); !errors.Is(err, kset.ErrBadParams) {
+		t.Errorf("NewExplicitCondition l=0: %v, want ErrBadParams", err)
+	}
+	if _, err := kset.ConditionSize(0, 1, 0, 1); !errors.Is(err, kset.ErrBadParams) {
+		t.Errorf("ConditionSize n=0: %v, want ErrBadParams", err)
+	}
+}
+
+// TestRunInputSentinels pins the per-run input validation of the hot path.
+func TestRunInputSentinels(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)))
+	ctx := context.Background()
+
+	if _, err := sys.Run(ctx, kset.VectorOf(1, 2), kset.NoFailures()); !errors.Is(err, kset.ErrBadInput) {
+		t.Errorf("short input: %v, want ErrBadInput", err)
+	}
+	if _, err := sys.Run(ctx, kset.VectorOf(1, 2, 0, 1, 2, 1), kset.NoFailures()); !errors.Is(err, kset.ErrBadInput) {
+		t.Errorf("⊥ input: %v, want ErrBadInput", err)
+	}
+	if _, err := sys.Run(ctx, kset.VectorOf(1, 2, 3, 1, 2, 65), kset.NoFailures()); !errors.Is(err, kset.ErrDomainTooLarge) {
+		t.Errorf("oversized value: %v, want ErrDomainTooLarge", err)
+	}
+}
+
+// TestSystemMatchesDeprecatedWrappers checks that the System executors and
+// the deprecated free functions produce identical executions.
+func TestSystemMatchesDeprecatedWrappers(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	input := kset.VectorOf(4, 4, 4, 2, 1, 2)
+	fp := kset.InitialCrashes(p.N, 2)
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		exec kset.Executor
+		free func() (*kset.Result, error)
+	}{
+		{kset.Figure2, func() (*kset.Result, error) { return kset.Agree(p, cond, input, fp) }},
+		{kset.EarlyDeciding, func() (*kset.Result, error) { return kset.AgreeEarly(p, cond, input, fp) }},
+		{kset.Classical, func() (*kset.Result, error) { return kset.AgreeClassical(p.N, p.T, p.K, input, fp) }},
+	} {
+		t.Run(tc.exec.Name(), func(t *testing.T) {
+			sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond), kset.WithExecutor(tc.exec))
+			got, err := sys.Run(ctx, input, fp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := tc.free()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Decisions, want.Decisions) {
+				t.Errorf("decisions %v, free function got %v", got.Decisions, want.Decisions)
+			}
+			if !reflect.DeepEqual(got.DecisionRound, want.DecisionRound) {
+				t.Errorf("rounds %v, free function got %v", got.DecisionRound, want.DecisionRound)
+			}
+			if v := kset.Verify(input, fp, got, p.K); !v.OK() {
+				t.Errorf("verdict: %v", v)
+			}
+		})
+	}
+}
+
+// TestSystemRunCancelled checks the context gate of the hot path.
+func TestSystemRunCancelled(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Run(ctx, kset.VectorOf(4, 4, 4, 2, 1, 2), kset.NoFailures()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on cancelled ctx: %v, want context.Canceled", err)
+	}
+}
+
+// TestSystemConcurrentRun drives one System from many goroutines; run
+// under -race it also proves the worker-pool isolation of the engines.
+func TestSystemConcurrentRun(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond))
+	ctx := context.Background()
+
+	inputs := []kset.Vector{
+		kset.VectorOf(4, 4, 4, 2, 1, 2),
+		kset.VectorOf(1, 2, 3, 4, 1, 2),
+		kset.VectorOf(4, 4, 4, 4, 4, 4),
+	}
+	fps := []kset.FailurePattern{
+		kset.NoFailures(),
+		kset.InitialCrashes(p.N, 2),
+		kset.MidRoundCrashes(p.N, 1, 6),
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				input := inputs[(g+i)%len(inputs)]
+				fp := fps[(g+2*i)%len(fps)]
+				res, err := sys.Run(ctx, input, fp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v := kset.Verify(input, fp, res, p.K); !v.OK() {
+					errs <- errors.New(v.String())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestAsynchronousExecutor checks the async executor's Result adaptation:
+// decisions land keyed by process, rounds stay zero, crash points map.
+func TestAsynchronousExecutor(t *testing.T) {
+	cond, err := kset.NewMaxCondition(5, 3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := testSystem(t,
+		kset.WithParams(kset.Params{N: 5, T: 2, K: 2, D: 0, L: 2}),
+		kset.WithCondition(cond),
+		kset.WithExecutor(kset.Asynchronous),
+	)
+	res, err := sys.RunScenario(context.Background(), kset.Scenario{
+		Input: kset.VectorOf(3, 3, 2, 1, 2),
+		FP:    kset.InitialCrashes(5, 1), // maps to CrashBeforeWrite for p5
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("async result has Rounds=%d, want 0", res.Rounds)
+	}
+	if !res.Crashed[5] {
+		t.Error("p5 should be marked crashed")
+	}
+	if _, decided := res.Decisions[5]; decided {
+		t.Error("crashed p5 must not decide")
+	}
+	if len(res.Decisions) != 4 {
+		t.Errorf("decisions %v, want all 4 correct processes", res.Decisions)
+	}
+	if d := res.DistinctDecisions(); d.Len() > 2 {
+		t.Errorf("too many distinct values: %v", d)
+	}
+}
+
+// TestFailureBuilders pins the new root-level failure-pattern builders.
+func TestFailureBuilders(t *testing.T) {
+	fp := kset.Crashes(
+		kset.CrashSpec{ID: 6, Round: 1, AfterSends: 2},
+		kset.CrashSpec{ID: 7, Round: 2},
+	)
+	if len(fp.Crashes) != 2 || fp.Crashes[6] != (kset.Crash{Round: 1, AfterSends: 2}) || fp.Crashes[7] != (kset.Crash{Round: 2}) {
+		t.Errorf("Crashes built %+v", fp.Crashes)
+	}
+
+	mid := kset.MidRoundCrashes(9, 2, 1, 9)
+	for _, id := range []kset.ProcessID{1, 9} {
+		if mid.Crashes[id] != (kset.Crash{Round: 2, AfterSends: 5}) {
+			t.Errorf("MidRoundCrashes[%d] = %+v", id, mid.Crashes[id])
+		}
+	}
+}
