@@ -263,6 +263,40 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkSweep times the generator-fed campaign path: the same system
+// and scenario shape as BenchmarkCampaignThroughput, but nothing is
+// materialized — a ScenarioSource (seeded random inputs crossed with a
+// fixed failure-pattern family) streams through System.RunSource under
+// the campaign queue's backpressure. The generator layer's budget is ≤ 2
+// allocs/run over the slice-fed campaign arm.
+func BenchmarkSweep(b *testing.B) {
+	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
+	c, err := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fam := kset.RandomCrashFamily(11, p.N, p.T, p.RMax(), 4)
+	ctx := context.Background()
+
+	b.Run("generator-fed", func(b *testing.B) {
+		b.ReportAllocs()
+		inputs := (b.N + fam.Size() - 1) / fam.Size()
+		src := kset.FailureSchedules(kset.RandomInputs(11, p.N, 4, inputs), fam)
+		b.ResetTimer()
+		stats, err := sys.RunSource(ctx, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if want := int64(inputs * fam.Size()); stats.Runs != want || stats.Errors != 0 {
+			b.Fatalf("sweep ran %d/%d with %d errors", stats.Runs, want, stats.Errors)
+		}
+	})
+}
+
 // --- micro-benchmarks of the kernels ---
 
 // BenchmarkDecodeView times the Definition-4 view decoding that dominates

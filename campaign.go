@@ -108,6 +108,18 @@ func (s *CampaignStats) HitRate() float64 {
 	return float64(s.ConditionHits) / float64(s.Runs)
 }
 
+// MaxDecisionRound returns the latest decision round any run reached
+// (the highest non-empty histogram index ≥ 1), or 0 when no run decided
+// in a round.
+func (s *CampaignStats) MaxDecisionRound() int {
+	for r := len(s.DecisionRounds) - 1; r >= 1; r-- {
+		if s.DecisionRounds[r] > 0 {
+			return r
+		}
+	}
+	return 0
+}
+
 // MeanDecisionRound returns the mean latest decision round over the runs
 // that decided in some round (histogram indices ≥ 1).
 func (s *CampaignStats) MeanDecisionRound() float64 {
@@ -181,13 +193,35 @@ func (s *System) RunCampaign(ctx context.Context, scenarios []Scenario, opts ...
 	c.slice = scenarios
 	c.closed = true // fixed workload: Submit is rejected
 	c.start()
-	if c.results != nil {
-		// No consumer can drain here; discard so workers never block.
-		go func() {
-			for range c.results {
-			}
-		}()
+	c.discardResults()
+	return c.Wait()
+}
+
+// discardResults drains the results channel of a run-to-completion entry
+// point (RunCampaign, RunSource), where no consumer exists: without the
+// drain, a CollectResults option would block every worker.
+func (c *Campaign) discardResults() {
+	if c.results == nil {
+		return
 	}
+	go func() {
+		for range c.results {
+		}
+	}()
+}
+
+// RunSource streams a scenario source through a campaign to completion
+// and returns the aggregate stats — the generator-fed form of
+// RunCampaign. The source is generated concurrently with execution under
+// the queue's backpressure, so arbitrarily large scenario spaces run in
+// constant memory. Outcomes are folded into the stats only; use
+// NewCampaign with CollectResults to stream per-scenario results.
+func (s *System) RunSource(ctx context.Context, src ScenarioSource, opts ...CampaignOption) (*CampaignStats, error) {
+	c := s.NewCampaign(ctx, opts...)
+	c.discardResults()
+	// A submission error means cancellation (Close is ours alone); Wait
+	// reports it alongside the stats of the scenarios that did run.
+	_ = c.SubmitSource(src)
 	return c.Wait()
 }
 
@@ -244,6 +278,19 @@ func (c *Campaign) SubmitAll(scs []Scenario) error {
 		}
 	}
 	return nil
+}
+
+// SubmitSource streams every scenario the source yields into the
+// campaign, stopping at the first error (cancellation or Close). The
+// source is consumed lazily: the campaign's bounded queue exerts
+// backpressure on generation, so an m^n-sized source never materializes.
+func (c *Campaign) SubmitSource(src ScenarioSource) error {
+	var err error
+	src.ForEach(func(sc Scenario) bool {
+		err = c.Submit(sc)
+		return err == nil
+	})
+	return err
 }
 
 // Close marks the campaign complete: no further Submit calls are accepted

@@ -3,12 +3,15 @@
 // EXPERIMENTS.md.
 //
 // With -campaign it instead drives the high-throughput entry point — one
-// kset.System fed by a Campaign — across seeded random inputs, failure
-// patterns and all three synchronous executors, and prints the aggregate
-// CampaignStats (decision-round histogram, condition-hit rate, violation
-// count). This is the load-harness face of the library: the same sweep a
-// production soak test would run, with every execution verified against
-// the k-set agreement specification.
+// kset.System fed by a generated scenario stream — across seeded random
+// inputs × a seeded failure-pattern family × all three synchronous
+// executors, and prints the aggregate CampaignStats (decision-round
+// histogram, condition-hit rate, violation count). The stream is built
+// declaratively from the generator subsystem (RandomInputs crossed with
+// RandomCrashFamily and the executors) and fed to System.RunSource, so
+// nothing is materialized: this is the load-harness face of the library,
+// the same sweep a production soak test would run, with every execution
+// verified against the k-set agreement specification.
 //
 // Usage:
 //
@@ -20,7 +23,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"kset"
@@ -65,8 +67,12 @@ func run(args []string) error {
 	return nil
 }
 
-// runCampaign sweeps seeded random scenarios — inputs × failure patterns ×
-// executors — through one verified campaign and prints the stats.
+// runCampaign streams a generated scenario sweep — seeded random inputs ×
+// a seeded failure-pattern family × the three synchronous executors —
+// through one verified campaign and prints the stats. The structured
+// cross product replaces the old hand-rolled scenario loop: the requested
+// run budget is factored into inputs × patterns × executors, so the sweep
+// covers every combination rather than one random pairing per run.
 func runCampaign(runs int, seed int64, workers int) error {
 	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
 	const m = 4
@@ -84,27 +90,24 @@ func runCampaign(runs int, seed int64, workers int) error {
 	}
 
 	execs := []kset.Executor{kset.Figure2, kset.EarlyDeciding, kset.Classical}
-	rng := rand.New(rand.NewSource(seed))
-	scenarios := make([]kset.Scenario, runs)
-	for i := range scenarios {
-		input := make(kset.Vector, p.N)
-		for j := range input {
-			input[j] = kset.Value(1 + rng.Intn(m))
-		}
-		scenarios[i] = kset.Scenario{
-			Input:    input,
-			FP:       kset.RandomCrashes(rng, p.N, p.T, p.RMax()),
-			Executor: execs[rng.Intn(len(execs))],
-		}
-	}
+	const patterns = 10
+	inputs := (runs + patterns*len(execs) - 1) / (patterns * len(execs))
+	src := kset.CrossExecutors(
+		kset.FailureSchedules(
+			kset.RandomInputs(seed, p.N, m, inputs),
+			kset.RandomCrashFamily(seed+1, p.N, p.T, p.RMax(), patterns),
+		),
+		execs...,
+	)
 
-	stats, err := sys.RunCampaign(context.Background(), scenarios, kset.VerifyRuns())
+	stats, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("campaign: n=%d t=%d k=%d d=%d ℓ=%d m=%d, %d scenarios, seed %d\n\n",
-		p.N, p.T, p.K, p.D, p.L, m, runs, seed)
+	total, _ := src.Size()
+	fmt.Printf("campaign: n=%d t=%d k=%d d=%d ℓ=%d m=%d, %d inputs × %d patterns × %d executors = %d scenarios, seed %d\n\n",
+		p.N, p.T, p.K, p.D, p.L, m, inputs, patterns, len(execs), total, seed)
 	fmt.Printf("%-24s %d\n", "runs", stats.Runs)
 	fmt.Printf("%-24s %d\n", "errors", stats.Errors)
 	fmt.Printf("%-24s %.4f (%d runs)\n", "condition-hit rate", stats.HitRate(), stats.ConditionHits)

@@ -7,22 +7,44 @@ import (
 )
 
 // Sentinel errors shared by every constructor and run entry point of the
-// package. Errors returned by NewMaxCondition, NewMinCondition,
-// NewExplicitCondition, ConditionSize, New, System.Run and the deprecated
-// free functions wrap one of these; classify with errors.Is.
+// package; classify with errors.Is. Each sentinel's comment lists exactly
+// the entry points that return errors wrapping it.
 var (
 	// ErrBadParams marks invalid problem or condition parameters
 	// (n, t, k, d, ℓ, x, m ranges, mismatched dimensions, nil conditions).
+	//
+	// Returned by: New (missing or out-of-range Params, condition/executor
+	// mismatch) and everything that constructs a System internally —
+	// RunSweep on a bad SweepPoint and the deprecated Agree, AgreeEarly,
+	// AgreeClassical free functions; the condition constructors
+	// NewMaxCondition, NewMinCondition, NewExplicitCondition (bad n, m, ℓ
+	// or x); the counting functions ConditionSize, ConditionFraction (bad
+	// n, m, ℓ or x out of 0 ≤ x < n); and AgreeAsync / Asynchronous runs
+	// (bad n, x, condition dimensions, or more crashes than x).
 	ErrBadParams = kerr.ErrBadParams
 
 	// ErrDomainTooLarge marks a value domain beyond the 64-value cap of
 	// the bitmask value sets, or an input value past it.
+	//
+	// Returned by: NewMaxCondition, NewMinCondition and
+	// NewExplicitCondition when m > 64 — the only entry points that fix a
+	// value domain. It is a sibling of ErrBadParams: domain-capped
+	// conditions are the representation invariant the whole module's
+	// allocation-free value sets rest on.
 	ErrDomainTooLarge = kerr.ErrDomainTooLarge
 
 	// ErrBadInput marks a malformed input vector for a run: wrong length,
 	// ⊥ entries, or values outside the proposable range.
+	//
+	// Returned by: System.Run, System.RunScenario and campaign runs (as
+	// the Outcome.Err of the offending scenario), the deprecated free
+	// functions, and AgreeAsync — everything that accepts a per-run input
+	// vector. Constructors never return it.
 	ErrBadInput = kerr.ErrBadInput
 
-	// ErrCampaignClosed is returned by Campaign.Submit after Close.
+	// ErrCampaignClosed is returned by Campaign.Submit, SubmitAll and
+	// SubmitSource after Close (or after Wait, which closes implicitly),
+	// and by Submit on a campaign created by RunCampaign, whose fixed
+	// workload admits no further scenarios.
 	ErrCampaignClosed = errors.New("kset: campaign closed")
 )

@@ -1,0 +1,214 @@
+package kset_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"kset"
+)
+
+// ExampleNew constructs a reusable System: parameters, condition and
+// executor are validated once, so Run performs no per-call validation.
+func ExampleNew() {
+	p := kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond, err := kset.NewMaxCondition(p.N, 4, p.X(), p.L) // C ∈ S^d_t[ℓ], x = t−d
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.Executor().Name(), "n =", sys.Params().N, "x =", sys.Params().X())
+	// Output: figure2 n = 6 x = 2
+}
+
+// ExampleSystem_Run executes one agreement run: six processes propose,
+// nobody crashes, and everyone decides within the condition-based bound.
+func ExampleSystem_Run() {
+	p := kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond, _ := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	sys, _ := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+
+	input := kset.VectorOf(4, 4, 4, 2, 1, 2)
+	res, err := sys.Run(context.Background(), input, kset.NoFailures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decisions:", res.Decisions)
+	fmt.Println("decided in round", res.MaxDecisionRound(), "of at most", p.RMax())
+	// Output:
+	// decisions: map[1:4 2:4 3:4 4:4 5:4 6:4]
+	// decided in round 2 of at most 2
+}
+
+// ExampleCampaign submits a handful of scenarios to a campaign and reads
+// the deterministic aggregate: the stats are identical for a fixed
+// scenario multiset regardless of worker count or scheduling.
+func ExampleCampaign() {
+	p := kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond, _ := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	sys, _ := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+
+	camp := sys.NewCampaign(context.Background(), kset.VerifyRuns())
+	for f := 0; f <= p.T; f++ {
+		if err := camp.Submit(kset.Scenario{
+			Input: kset.VectorOf(4, 4, 4, 2, 1, 2),
+			FP:    kset.InitialCrashes(p.N, f),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats, err := camp.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runs %d, violations %d, hit rate %.2f\n",
+		stats.Runs, stats.Violations, stats.HitRate())
+	// Output: runs 4, violations 0, hit rate 1.00
+}
+
+// ExampleConditionSize evaluates the Theorem-13 closed form: the size of
+// the max_ℓ-generated condition, far beyond anything enumerable.
+func ExampleConditionSize() {
+	nb, err := kset.ConditionSize(30, 8, 10, 2) // n=30, m=8, x=10, ℓ=2
+	if err != nil {
+		log.Fatal(err)
+	}
+	frac, _ := kset.ConditionFraction(30, 8, 10, 2)
+	fmt.Println("NB(10,2) =", nb)
+	fmt.Printf("fraction of all 8^30 inputs: %.4f\n", frac)
+	// Output:
+	// NB(10,2) = 140742119606429162648174104
+	// fraction of all 8^30 inputs: 0.1137
+}
+
+// ExampleExhaustiveInputs streams every vector of {1..m}^n — here all
+// 3^2 = 9 of them — without materializing the set.
+func ExampleExhaustiveInputs() {
+	src := kset.ExhaustiveInputs(2, 3)
+	size, _ := src.Size()
+	fmt.Println("size:", size)
+	src.ForEach(func(sc kset.Scenario) bool {
+		fmt.Print(sc.Input, " ")
+		return true
+	})
+	fmt.Println()
+	// Output:
+	// size: 9
+	// [1 1] [1 2] [1 3] [2 1] [2 2] [2 3] [3 1] [3 2] [3 3]
+}
+
+// ExampleConditionMembers streams a condition's members; the advertised
+// size matches the Theorem-13 closed form NB(x,ℓ).
+func ExampleConditionMembers() {
+	cond, _ := kset.NewMaxCondition(4, 2, 2, 1) // n=4, m=2, x=2, ℓ=1
+	src := kset.ConditionMembers(cond)
+	size, _ := src.Size()
+	nb, _ := kset.ConditionSize(4, 2, 2, 1)
+	fmt.Println("size:", size, "NB:", nb)
+	src.ForEach(func(sc kset.Scenario) bool {
+		fmt.Print(sc.Input, " ")
+		return true
+	})
+	fmt.Println()
+	// Output:
+	// size: 6 NB: 6
+	// [1 1 1 1] [1 2 2 2] [2 1 2 2] [2 2 1 2] [2 2 2 1] [2 2 2 2]
+}
+
+// ExampleRandomInputs draws seeded random inputs: the same seed yields
+// the same stream, every time it is iterated.
+func ExampleRandomInputs() {
+	first := ""
+	kset.RandomInputs(7, 5, 4, 3).ForEach(func(sc kset.Scenario) bool {
+		first += sc.Input.String() + " "
+		return true
+	})
+	again := ""
+	kset.RandomInputs(7, 5, 4, 3).ForEach(func(sc kset.Scenario) bool {
+		again += sc.Input.String() + " "
+		return true
+	})
+	fmt.Println("deterministic:", first == again)
+	// Output: deterministic: true
+}
+
+// ExampleCrossFailures crosses an input stream with explicit failure
+// patterns: every input is run under every pattern.
+func ExampleCrossFailures() {
+	src := kset.CrossFailures(
+		kset.Inputs(kset.VectorOf(1, 1, 1), kset.VectorOf(2, 1, 2)),
+		kset.NoFailures(), kset.InitialCrashes(3, 1),
+	)
+	size, _ := src.Size()
+	fmt.Println("2 inputs × 2 patterns =", size, "scenarios")
+	// Output: 2 inputs × 2 patterns = 4 scenarios
+}
+
+// ExampleFailureSchedules crosses an input stream with a deterministic
+// failure family — here the f = 0..2 initial-crash sweep.
+func ExampleFailureSchedules() {
+	fam := kset.InitialCrashFamily(6, 2)
+	src := kset.FailureSchedules(kset.Inputs(kset.VectorOf(4, 4, 4, 2, 1, 2)), fam)
+	size, _ := src.Size()
+	fmt.Println(fam.Name(), "family of", fam.Size(), "→", size, "scenarios")
+	src.ForEach(func(sc kset.Scenario) bool {
+		fmt.Println("crashes:", len(sc.FP.Crashes))
+		return true
+	})
+	// Output:
+	// initial family of 3 → 3 scenarios
+	// crashes: 0
+	// crashes: 1
+	// crashes: 2
+}
+
+// ExampleSystem_RunSource streams a generated scenario space — every
+// input of {1..3}^5 under two adversaries — through one campaign.
+func ExampleSystem_RunSource() {
+	p := kset.Params{N: 5, T: 2, K: 2, D: 1, L: 1}
+	cond, _ := kset.NewMaxCondition(p.N, 3, p.X(), p.L)
+	sys, _ := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+
+	src := kset.CrossFailures(kset.ExhaustiveInputs(p.N, 3),
+		kset.NoFailures(), kset.InitialCrashes(p.N, p.T))
+	stats, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("runs %d (3^5 × 2), violations %d, hit rate %.3f\n",
+		stats.Runs, stats.Violations, stats.HitRate())
+	// Output: runs 486 (3^5 × 2), violations 0, hit rate 0.650
+}
+
+// ExampleRunSweep runs one campaign per parameter-grid point: the d-axis
+// trade-off between condition size and decision round, in one call.
+func ExampleRunSweep() {
+	const n, m, t, k = 6, 4, 3, 1
+	input := kset.VectorOf(4, 4, 4, 4, 2, 1)
+	points, err := kset.SweepDegrees(
+		kset.Params{N: n, T: t, K: k, L: 1}, m,
+		func(p kset.Params, c *kset.MaxCondition) kset.ScenarioSource {
+			// The forcing adversary: more than x = t−d initial crashes.
+			return kset.CrossFailures(kset.Inputs(input),
+				kset.InitialCrashes(n, min(p.X()+1, t)))
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		nb, _ := kset.ConditionSize(n, m, r.Params.X(), r.Params.L)
+		fmt.Printf("%s: |C| = %s, decided in round %d\n",
+			r.Key, nb, r.Stats.MaxDecisionRound())
+	}
+	// Output:
+	// d=0: |C| = 250, decided in round 2
+	// d=1: |C| = 970, decided in round 2
+	// d=2: |C| = 2440, decided in round 3
+}

@@ -1,5 +1,5 @@
 // Faultstorm: early decision under increasing failures (Section 8), run
-// as one Campaign.
+// as a sweep grid.
 //
 // A replicated coordinator group of n = 9 must agree on at most k = 2
 // leader epochs despite up to t = 8 crashes. The plain algorithms pay for
@@ -8,10 +8,11 @@
 // small constant. The program storms the group with ever more initial
 // crashes and prints how each variant's decision round responds.
 //
-// All 27 executions (9 failure counts × 3 algorithm variants) are
-// submitted to a single campaign: each scenario carries its own executor
-// override, the runs fan across the worker pool, verification is on, and
-// the per-scenario results stream back over the campaign's channel.
+// The 27 executions (9 failure counts × 3 algorithm variants) are a
+// declared grid, not a loop: one base point (the input) is expanded along
+// the f-axis by kset.SweepFailures over the initial-crash family, then
+// along the algorithm axis by kset.SweepExecutors, and kset.RunSweep runs
+// one verified campaign per point and returns the keyed stats.
 package main
 
 import (
@@ -33,57 +34,44 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
-	if err != nil {
-		log.Fatal(err)
-	}
 	input := kset.VectorOf(4, 3, 2, 1, 1, 2, 3, 1, 2)
 
-	variants := []kset.Executor{kset.Figure2, kset.EarlyDeciding, kset.Classical}
-	camp := sys.NewCampaign(context.Background(),
-		kset.CollectResults(64), kset.VerifyRuns())
-	for f := 0; f <= t; f++ {
-		for _, ex := range variants {
-			err := camp.Submit(kset.Scenario{
-				Label:    fmt.Sprintf("%s/f=%d", ex.Name(), f),
-				Input:    input,
-				FP:       kset.InitialCrashes(n, f),
-				Executor: ex,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-		}
+	base := kset.SweepPoint{
+		Options: []kset.Option{kset.WithParams(p), kset.WithCondition(cond)},
+		Source:  kset.Inputs(input),
 	}
-	camp.Close()
+	points := kset.SweepExecutors(
+		kset.SweepFailures(base, kset.InitialCrashFamily(n, t)),
+		kset.Figure2, kset.EarlyDeciding, kset.Classical)
 
-	// Collect the streamed outcomes by label; order across workers is
-	// arbitrary, the labels are not.
-	rounds := make(map[string]int)
-	for out := range camp.Results() {
-		if out.Err != nil {
-			log.Fatalf("%s: %v", out.Scenario.Label, out.Err)
-		}
-		if out.Verdict != nil && !out.Verdict.OK() {
-			log.Fatalf("%s: %v", out.Scenario.Label, out.Verdict)
-		}
-		rounds[out.Scenario.Label] = out.Result.MaxDecisionRound()
-	}
-	stats, err := camp.Wait()
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Index the keyed stats; keys look like "early/initial=3".
+	rounds := make(map[string]int)
+	var runs, messages int64
+	for _, r := range results {
+		if r.Stats.Errors > 0 || r.Stats.Violations > 0 {
+			log.Fatalf("%s: %d run error(s), %d specification violation(s)",
+				r.Key, r.Stats.Errors, r.Stats.Violations)
+		}
+		rounds[r.Key] = r.Stats.MaxDecisionRound()
+		runs += r.Stats.Runs
+		messages += r.Stats.MessagesDelivered
 	}
 
 	fmt.Printf("n=%d t=%d k=%d: plain worst case ⌊t/k⌋+1 = %d rounds\n\n", n, t, k, p.RMax())
 	fmt.Printf("%-4s %-16s %-16s %-18s\n", "f", "plain (Fig. 2)", "early variant", "classical baseline")
 	for f := 0; f <= t; f++ {
 		fmt.Printf("%-4d %-16d %-16d %-18d\n", f,
-			rounds[fmt.Sprintf("figure2/f=%d", f)],
-			rounds[fmt.Sprintf("early/f=%d", f)],
-			rounds[fmt.Sprintf("classical/f=%d", f)])
+			rounds[fmt.Sprintf("figure2/initial=%d", f)],
+			rounds[fmt.Sprintf("early/initial=%d", f)],
+			rounds[fmt.Sprintf("classical/initial=%d", f)])
 	}
-	fmt.Printf("\ncampaign: %d runs, %d violations, %d messages delivered\n",
-		stats.Runs, stats.Violations, stats.MessagesDelivered)
+	fmt.Printf("\nsweep: %d points, %d runs, %d messages delivered\n",
+		len(results), runs, messages)
 	fmt.Println("(early decision tracks the crashes that actually happen;")
 	fmt.Println(" with f=0 everyone is done two or three rounds in, whatever t is)")
 }

@@ -12,9 +12,10 @@
 // forces the algorithm's slow path and makes the measured rounds meet the
 // ⌊(d+ℓ−1)/k⌋+1 bound exactly.
 //
-// Each point of the sweep is its own problem instance, so each gets its
-// own System — construction is where parameters and condition are
-// validated, and it is deliberately cheap.
+// The whole grid is declared, not looped: kset.SweepDegrees builds one
+// point per degree (parameters, condition and the forcing adversary for
+// that d), and kset.RunSweep runs one verified campaign per point and
+// returns the keyed stats the table prints.
 package main
 
 import (
@@ -34,24 +35,31 @@ func main() {
 
 	// The same heavily-agreeing input is in every condition of the sweep.
 	input := kset.VectorOf(4, 4, 4, 4, 4, 4, 4, 2, 1)
-	ctx := context.Background()
+
+	points, err := kset.SweepDegrees(
+		kset.Params{N: n, T: t, K: k, L: l}, m,
+		func(p kset.Params, cond *kset.MaxCondition) kset.ScenarioSource {
+			if !cond.Contains(input) {
+				log.Fatalf("d=%d: input unexpectedly outside the condition", p.D)
+			}
+			// The forcing adversary: more than t−d processes crash before
+			// sending anything (capped at t).
+			fp := kset.InitialCrashes(n, min(p.X()+1, t))
+			return kset.CrossFailures(kset.Inputs(input), fp)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("n=%d t=%d k=%d ℓ=%d, input %v\n\n", n, t, k, l, input)
-	fmt.Printf("%-4s %-10s %-22s %-10s %-14s\n",
+	fmt.Printf("%-6s %-10s %-22s %-10s %-14s\n",
 		"d", "x=t−d", "condition size NB", "fraction", "rounds (I∈C)")
-	for d := 0; d <= t-l; d++ {
-		p := kset.Params{N: n, T: t, K: k, D: d, L: l}
-		cond, err := kset.NewMaxCondition(n, m, p.X(), l)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if !cond.Contains(input) {
-			log.Fatalf("d=%d: input unexpectedly outside the condition", d)
-		}
-		sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, r := range results {
+		p := r.Params
 		nb, err := kset.ConditionSize(n, m, p.X(), l)
 		if err != nil {
 			log.Fatal(err)
@@ -60,20 +68,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-
-		// The forcing adversary: more than t−d processes crash before
-		// sending anything (capped at t).
-		crashes := min(p.X()+1, t)
-		fp := kset.InitialCrashes(n, crashes)
-		res, err := sys.Run(ctx, input, fp)
-		if err != nil {
-			log.Fatal(err)
+		if r.Stats.Errors > 0 || r.Stats.Violations > 0 {
+			log.Fatalf("%s: %d run error(s), %d specification violation(s)",
+				r.Key, r.Stats.Errors, r.Stats.Violations)
 		}
-		if v := kset.Verify(input, fp, res, k); !v.OK() {
-			log.Fatalf("d=%d: %v", d, v)
-		}
-		fmt.Printf("%-4d %-10d %-22s %-10.4f %-14d\n",
-			d, p.X(), nb.String(), frac, res.MaxDecisionRound())
+		fmt.Printf("%-6s %-10d %-22s %-10.4f %-14d\n",
+			r.Key, p.X(), nb.String(), frac, r.Stats.MaxDecisionRound())
 	}
 	fmt.Println("\nclassical baseline (no condition): every run takes ⌊t/k⌋+1 =",
 		t/k+1, "rounds")

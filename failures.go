@@ -54,3 +54,38 @@ func RandomCrashes(r *rand.Rand, n, t, maxRounds int) FailurePattern {
 func StaggeredCrashes(n, t, c1, perRound, maxRounds int) FailurePattern {
 	return adversary.Stagger(n, t, c1, perRound, maxRounds)
 }
+
+// FailureFamily is a finite, deterministic, indexed family of failure
+// patterns: Size patterns, Pattern(i) always the same for the same i.
+// Families are the adversary side of the generator subsystem — cross one
+// with an input source via FailureSchedules, or expand a sweep grid point
+// per pattern via SweepFailures.
+type FailureFamily = adversary.Family
+
+// FailuresOf wraps an explicit pattern list as a family.
+func FailuresOf(fps ...FailurePattern) FailureFamily {
+	return adversary.FixedFamily("fixed", fps...)
+}
+
+// InitialCrashFamily is the family {InitialCrashes(n, f) : f = 0..maxF} —
+// the f-sweep of the early-decision experiments. Pattern i crashes the
+// last i processes before they send anything.
+func InitialCrashFamily(n, maxF int) FailureFamily {
+	return adversary.InitialFamily(n, maxF)
+}
+
+// StaggeredCrashFamily is the family {StaggeredCrashes(n, t, c1, 1,
+// maxRounds) : c1 = 0..t} of containment-chain worst cases, one per
+// round-1 crash budget.
+func StaggeredCrashFamily(n, t, maxRounds int) FailureFamily {
+	return adversary.StaggerFamily(n, t, maxRounds)
+}
+
+// RandomCrashFamily is a family of count seeded random patterns with at
+// most t crashes within maxRounds rounds. Pattern i is drawn from its own
+// source seeded with seed+i, so the family is deterministic and
+// random-access: unlike RandomCrashes it does not thread one *rand.Rand
+// through the sweep.
+func RandomCrashFamily(seed int64, n, t, maxRounds, count int) FailureFamily {
+	return adversary.RandomFamily(seed, n, t, maxRounds, count)
+}

@@ -1,0 +1,266 @@
+package kset
+
+import (
+	"math"
+	"math/rand"
+
+	"kset/internal/condition"
+	"kset/internal/count"
+	"kset/internal/vector"
+)
+
+// ScenarioSource is a stream of scenarios: the input side of the
+// generator subsystem. Sources are deterministic and re-iterable — every
+// ForEach over the same source yields the same scenarios in the same
+// order, which is what makes generator-fed campaigns reproducible — and
+// they stream: a source never materializes its scenario set, so sweeping
+// all m^n inputs of a domain costs one vector of memory, not m^n.
+//
+// Build sources with the builders (ScenariosOf, Inputs, ExhaustiveInputs,
+// ConditionMembers, RandomInputs), shape them with the combinators
+// (CrossFailures, FailureSchedules, CrossExecutors, Concat), and feed them
+// to System.RunSource, Campaign.SubmitSource or a Sweep.
+//
+// Ownership: yielded scenarios remain valid after yield returns, but
+// their Input vectors must be treated as read-only — a source may share
+// one input buffer across the scenarios it derives from it.
+type ScenarioSource interface {
+	// ForEach yields the scenarios in order, stopping early when yield
+	// returns false.
+	ForEach(yield func(Scenario) bool)
+	// Size returns the number of scenarios the source yields, when it is
+	// known without iterating.
+	Size() (int64, bool)
+}
+
+// funcSource adapts a yield function (plus an optional size) to
+// ScenarioSource; every builder and combinator is one of these.
+type funcSource struct {
+	size  int64
+	sized bool
+	each  func(yield func(Scenario) bool)
+}
+
+func (s funcSource) ForEach(yield func(Scenario) bool) { s.each(yield) }
+func (s funcSource) Size() (int64, bool)               { return s.size, s.sized }
+
+// ScenariosOf wraps an explicit scenario list as a source.
+func ScenariosOf(scs ...Scenario) ScenarioSource {
+	return funcSource{size: int64(len(scs)), sized: true, each: func(yield func(Scenario) bool) {
+		for i := range scs {
+			if !yield(scs[i]) {
+				return
+			}
+		}
+	}}
+}
+
+// Inputs wraps a list of input vectors as a source of failure-free
+// scenarios; attach adversaries with CrossFailures or FailureSchedules.
+func Inputs(inputs ...Vector) ScenarioSource {
+	return funcSource{size: int64(len(inputs)), sized: true, each: func(yield func(Scenario) bool) {
+		for _, in := range inputs {
+			if !yield(Scenario{Input: in}) {
+				return
+			}
+		}
+	}}
+}
+
+// ExhaustiveInputs streams every full input vector of {1..m}^n in
+// lexicographic order — all m^n of them — as failure-free scenarios. This
+// is the proof-by-enumeration source: crossed with an adversary family it
+// sweeps an entire scenario space without materializing it.
+func ExhaustiveInputs(n, m int) ScenarioSource {
+	size, sized := powInt64(m, n)
+	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+		e := vector.NewEnum(n, m)
+		for v, ok := e.Next(); ok; v, ok = e.Next() {
+			if !yield(Scenario{Input: v.Clone()}) {
+				return
+			}
+		}
+	}}
+}
+
+// ConditionMembers streams the condition's member vectors as failure-free
+// scenarios, in the deterministic member order. Explicit conditions
+// stream their stored members; implicit (max_ℓ/min_ℓ) conditions stream
+// by filtering the {1..m}^n enumeration, practical at small n and m. The
+// size is known for explicit conditions (their member count) and for
+// max_ℓ/min_ℓ conditions (the Theorem-13 closed form NB(x,ℓ), when it
+// fits in an int64).
+func ConditionMembers(c Condition) ScenarioSource {
+	size, sized := memberCount(c)
+	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+		st := condition.NewStream(c)
+		for v, ok := st.Next(); ok; v, ok = st.Next() {
+			if !yield(Scenario{Input: v.Clone()}) {
+				return
+			}
+		}
+	}}
+}
+
+// memberCount returns the condition's cardinality when a closed form or
+// stored count is available. min_ℓ conditions count like max_ℓ ones: the
+// value mirror v ↦ m+1−v is a size-preserving bijection between them.
+func memberCount(c Condition) (int64, bool) {
+	switch cc := c.(type) {
+	case *ExplicitCondition:
+		return int64(cc.Size()), true
+	case *MaxCondition:
+		return nbInt64(cc.N(), cc.M(), cc.X(), cc.L())
+	case *MinCondition:
+		return nbInt64(cc.N(), cc.M(), cc.X(), cc.L())
+	}
+	return 0, false
+}
+
+func nbInt64(n, m, x, l int) (int64, bool) {
+	nb, err := count.NB(n, m, x, l)
+	if err != nil || !nb.IsInt64() {
+		return 0, false
+	}
+	return nb.Int64(), true
+}
+
+// powInt64 returns m^n, or false on overflow or an empty domain.
+func powInt64(m, n int) (int64, bool) {
+	if n < 0 || m < 1 {
+		return 0, true
+	}
+	size := int64(1)
+	for i := 0; i < n; i++ {
+		if size > math.MaxInt64/int64(m) {
+			return 0, false
+		}
+		size *= int64(m)
+	}
+	return size, true
+}
+
+// RandomInputs streams count seeded uniform random input vectors over
+// {1..m}^n as failure-free scenarios. The stream is deterministic: the
+// same seed yields the same inputs, every time it is iterated. Like
+// ExhaustiveInputs, a degenerate domain (n < 0 or m < 1) yields an empty
+// stream.
+func RandomInputs(seed int64, n, m, count int) ScenarioSource {
+	if count < 0 || n < 0 || m < 1 {
+		count = 0
+	}
+	return funcSource{size: int64(count), sized: true, each: func(yield func(Scenario) bool) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < count; i++ {
+			in := make(Vector, n)
+			for j := range in {
+				in[j] = Value(1 + rng.Intn(m))
+			}
+			if !yield(Scenario{Input: in}) {
+				return
+			}
+		}
+	}}
+}
+
+// CrossFailures takes the cross product of a source with an explicit
+// failure-pattern list: each scenario is yielded once per pattern, with
+// that pattern installed. The scenarios of one input share its Input
+// buffer.
+func CrossFailures(src ScenarioSource, fps ...FailurePattern) ScenarioSource {
+	size, sized := scaled(src, len(fps))
+	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+		src.ForEach(func(sc Scenario) bool {
+			for i := range fps {
+				sc.FP = fps[i]
+				if !yield(sc) {
+					return false
+				}
+			}
+			return true
+		})
+	}}
+}
+
+// FailureSchedules takes the cross product of a source with a failure
+// family: each scenario is yielded once per family pattern. Families are
+// index-deterministic (see the FailureFamily builders), so the product
+// stream is too. The family's patterns are generated once per iteration,
+// not once per input scenario.
+func FailureSchedules(src ScenarioSource, fam FailureFamily) ScenarioSource {
+	size, sized := scaled(src, fam.Size())
+	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+		fps := make([]FailurePattern, fam.Size())
+		for i := range fps {
+			fps[i] = fam.Pattern(i)
+		}
+		src.ForEach(func(sc Scenario) bool {
+			for i := range fps {
+				sc.FP = fps[i]
+				if !yield(sc) {
+					return false
+				}
+			}
+			return true
+		})
+	}}
+}
+
+// CrossExecutors takes the cross product of a source with an executor
+// list: each scenario is yielded once per executor, with that executor
+// installed as the scenario override.
+func CrossExecutors(src ScenarioSource, execs ...Executor) ScenarioSource {
+	size, sized := scaled(src, len(execs))
+	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+		src.ForEach(func(sc Scenario) bool {
+			for _, ex := range execs {
+				sc.Executor = ex
+				if !yield(sc) {
+					return false
+				}
+			}
+			return true
+		})
+	}}
+}
+
+// Concat chains sources: all scenarios of the first, then the second, …
+func Concat(srcs ...ScenarioSource) ScenarioSource {
+	size, sized := int64(0), true
+	for _, s := range srcs {
+		n, ok := s.Size()
+		if !ok || size > math.MaxInt64-n {
+			size, sized = 0, false
+			break
+		}
+		size += n
+	}
+	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+		for _, s := range srcs {
+			stopped := false
+			s.ForEach(func(sc Scenario) bool {
+				if !yield(sc) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return
+			}
+		}
+	}}
+}
+
+// scaled returns the source's size times k, unknown when the source's
+// size is unknown or the product overflows int64.
+func scaled(src ScenarioSource, k int) (int64, bool) {
+	n, ok := src.Size()
+	if !ok {
+		return 0, false
+	}
+	if k != 0 && n > math.MaxInt64/int64(k) {
+		return 0, false
+	}
+	return n * int64(k), true
+}

@@ -1,0 +1,263 @@
+package kset_test
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"reflect"
+	"testing"
+
+	"kset"
+)
+
+// collect materializes a source (tests only; the library never does).
+func collect(t *testing.T, src kset.ScenarioSource) []kset.Scenario {
+	t.Helper()
+	var out []kset.Scenario
+	src.ForEach(func(sc kset.Scenario) bool {
+		sc.Input = sc.Input.Clone() // sources may reuse input buffers across yields
+		out = append(out, sc)
+		return true
+	})
+	return out
+}
+
+func TestExhaustiveInputsCardinality(t *testing.T) {
+	const n, m = 3, 4
+	src := kset.ExhaustiveInputs(n, m)
+	want := int64(1)
+	for i := 0; i < n; i++ {
+		want *= m
+	}
+	if got, ok := src.Size(); !ok || got != want {
+		t.Fatalf("Size() = %d, %v; want %d, true", got, ok, want)
+	}
+	seen := make(map[string]bool)
+	for _, sc := range collect(t, src) {
+		if len(sc.Input) != n {
+			t.Fatalf("input %v has size %d, want %d", sc.Input, len(sc.Input), n)
+		}
+		seen[sc.Input.String()] = true
+	}
+	if int64(len(seen)) != want {
+		t.Fatalf("enumerated %d distinct inputs, want m^n = %d", len(seen), want)
+	}
+}
+
+func TestConditionMembersMatchesConditionSize(t *testing.T) {
+	const n, m, x, l = 5, 3, 2, 1
+	nb, err := kset.ConditionSize(n, m, x, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		cond kset.Condition
+	}{
+		{"max", mustMax(t, n, m, x, l)},
+		{"min", mustMin(t, n, m, x, l)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src := kset.ConditionMembers(tc.cond)
+			if got, ok := src.Size(); !ok || got != nb.Int64() {
+				t.Fatalf("Size() = %d, %v; want NB = %s, true", got, ok, nb)
+			}
+			members := collect(t, src)
+			if big.NewInt(int64(len(members))).Cmp(nb) != 0 {
+				t.Fatalf("streamed %d members, NB(x,ℓ) = %s", len(members), nb)
+			}
+			for _, sc := range members {
+				if !tc.cond.Contains(sc.Input) {
+					t.Fatalf("streamed non-member %v", sc.Input)
+				}
+			}
+		})
+	}
+}
+
+func mustMax(t *testing.T, n, m, x, l int) *kset.MaxCondition {
+	t.Helper()
+	c, err := kset.NewMaxCondition(n, m, x, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustMin(t *testing.T, n, m, x, l int) *kset.MinCondition {
+	t.Helper()
+	c, err := kset.NewMinCondition(n, m, x, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConditionMembersExplicitSize(t *testing.T) {
+	c, err := kset.NewExplicitCondition(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []kset.Vector{
+		kset.VectorOf(1, 1, 1), kset.VectorOf(2, 2, 2), kset.VectorOf(2, 2, 1),
+	} {
+		if err := c.AddAuto(in, func(i kset.Vector) kset.Set { return i.TopL(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := kset.ConditionMembers(c)
+	if got, ok := src.Size(); !ok || got != 3 {
+		t.Fatalf("Size() = %d, %v; want 3, true", got, ok)
+	}
+	if got := len(collect(t, src)); got != 3 {
+		t.Fatalf("streamed %d members, want 3", got)
+	}
+}
+
+func TestRandomInputsDeterministic(t *testing.T) {
+	a := collect(t, kset.RandomInputs(7, 6, 4, 50))
+	b := collect(t, kset.RandomInputs(7, 6, 4, 50))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different input streams")
+	}
+	c := collect(t, kset.RandomInputs(8, 6, 4, 50))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical input streams")
+	}
+}
+
+func TestCombinatorSizes(t *testing.T) {
+	in := kset.Inputs(kset.VectorOf(1, 1, 1), kset.VectorOf(2, 2, 2))
+	fps := []kset.FailurePattern{kset.NoFailures(), kset.InitialCrashes(3, 1)}
+
+	cross := kset.CrossFailures(in, fps...)
+	if got, ok := cross.Size(); !ok || got != 4 {
+		t.Fatalf("CrossFailures size = %d, %v; want 4, true", got, ok)
+	}
+	if got := len(collect(t, cross)); got != 4 {
+		t.Fatalf("CrossFailures yielded %d, want 4", got)
+	}
+
+	fam := kset.InitialCrashFamily(3, 2) // f = 0, 1, 2
+	sched := kset.FailureSchedules(in, fam)
+	if got, ok := sched.Size(); !ok || got != 6 {
+		t.Fatalf("FailureSchedules size = %d, %v; want 6, true", got, ok)
+	}
+	if got := len(collect(t, sched)); got != 6 {
+		t.Fatalf("FailureSchedules yielded %d, want 6", got)
+	}
+
+	ex := kset.CrossExecutors(in, kset.Figure2, kset.Classical)
+	if got, ok := ex.Size(); !ok || got != 4 {
+		t.Fatalf("CrossExecutors size = %d, %v; want 4, true", got, ok)
+	}
+
+	cat := kset.Concat(in, cross)
+	if got, ok := cat.Size(); !ok || got != 6 {
+		t.Fatalf("Concat size = %d, %v; want 6, true", got, ok)
+	}
+	if got := len(collect(t, cat)); got != 6 {
+		t.Fatalf("Concat yielded %d, want 6", got)
+	}
+}
+
+func TestFailureFamilyDeterministic(t *testing.T) {
+	a := kset.RandomCrashFamily(3, 8, 5, 3, 16)
+	b := kset.RandomCrashFamily(3, 8, 5, 3, 16)
+	if a.Size() != 16 {
+		t.Fatalf("family size = %d, want 16", a.Size())
+	}
+	for i := 0; i < a.Size(); i++ {
+		if !reflect.DeepEqual(a.Pattern(i), b.Pattern(i)) {
+			t.Fatalf("pattern %d differs between identically seeded families", i)
+		}
+		if !reflect.DeepEqual(a.Pattern(i), a.Pattern(i)) {
+			t.Fatalf("pattern %d is not random-access deterministic", i)
+		}
+	}
+}
+
+// TestRunSourceDeterministic is the generator-determinism contract: the
+// same seed and the same source expression yield byte-identical
+// CampaignStats, run after run, whatever the worker count.
+func TestRunSourceDeterministic(t *testing.T) {
+	p := kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond := mustMax(t, p.N, 4, p.X(), p.L)
+	run := func(workers int) *kset.CampaignStats {
+		sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond), kset.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := kset.CrossExecutors(
+			kset.FailureSchedules(
+				kset.RandomInputs(42, p.N, 4, 60),
+				kset.RandomCrashFamily(43, p.N, p.T, p.RMax(), 5),
+			),
+			kset.Figure2, kset.EarlyDeciding,
+		)
+		stats, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	first := run(1)
+	if first.Runs != 600 {
+		t.Fatalf("ran %d scenarios, want 60×5×2 = 600", first.Runs)
+	}
+	if first.Violations > 0 {
+		t.Fatalf("%d specification violations", first.Violations)
+	}
+	for _, workers := range []int{1, 4} {
+		if again := run(workers); !reflect.DeepEqual(first, again) {
+			t.Fatalf("workers=%d: same seed and source produced different stats:\n%+v\n%+v",
+				workers, first, again)
+		}
+	}
+}
+
+// TestRunSourceMatchesRunCampaign pins the two submission paths to the
+// same aggregate: a materialized slice through RunCampaign and the same
+// scenarios streamed through RunSource.
+func TestRunSourceMatchesRunCampaign(t *testing.T) {
+	p := kset.Params{N: 5, T: 2, K: 2, D: 1, L: 1}
+	cond := mustMax(t, p.N, 3, p.X(), p.L)
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := kset.CrossFailures(kset.ExhaustiveInputs(p.N, 3),
+		kset.NoFailures(), kset.InitialCrashes(p.N, 2))
+	scs := collect(t, src)
+
+	fromSlice, err := sys.RunCampaign(context.Background(), scs, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromSource, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromSlice, fromSource) {
+		t.Fatalf("slice and source campaigns disagree:\n%+v\n%+v", fromSlice, fromSource)
+	}
+	if want := int64(len(scs)); fromSource.Runs != want {
+		t.Fatalf("ran %d scenarios, want %d", fromSource.Runs, want)
+	}
+}
+
+func TestRunSourceCancellation(t *testing.T) {
+	p := kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond := mustMax(t, p.N, 4, p.X(), p.L)
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A cancelled context must surface as the campaign error, not hang the
+	// generator against a full queue.
+	if _, err := sys.RunSource(ctx, kset.ExhaustiveInputs(p.N, 4)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,8 +1,3 @@
-// Package adversary generates failure patterns for the synchronous model:
-// canned scenarios (crash-free, initial crashes, staggered worst-case
-// chains), seeded random patterns for property tests, and exhaustive
-// enumeration of every prefix-send crash pattern for model checking small
-// configurations.
 package adversary
 
 import (

@@ -1,0 +1,19 @@
+// Package adversary generates failure patterns for the synchronous model
+// of the paper's Section 6.2 — the crash adversary that picks which
+// processes crash, in which round, after delivering to which prefix of
+// their send order.
+//
+// Three generation styles cover the module's workloads:
+//
+//   - canned scenarios: the failure-free pattern, initial crashes (the
+//     paper's "initially crashed" processes whose entries stay ⊥), the
+//     mid-round splitter, and the staggered containment-chain worst case
+//     of the agreement proof's counting argument;
+//   - deterministic, indexed Family values (fixed lists, the f-sweep
+//     initial family, staggered and seeded-random families) — the
+//     adversary side of the root package's scenario generators, where
+//     random-access determinism keeps generated campaigns reproducible;
+//   - exhaustive enumeration of every prefix-send crash pattern
+//     (Enumerate, EnumerateWithOrders) for model checking small
+//     configurations, with Count to budget the pattern space first.
+package adversary

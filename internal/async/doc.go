@@ -1,0 +1,29 @@
+// Package async implements the asynchronous side of the paper (Section 4):
+// the condition-based ℓ-set agreement algorithm obtained by generalizing
+// the consensus algorithm of Mostefaoui–Rajsbaum–Raynal [20] to
+// (x,ℓ)-legal conditions, running over a wait-free atomic-snapshot shared
+// memory (Afek et al. [1], the paper's reference for the view-containment
+// structure its own synchronous round 1 emulates).
+//
+// The algorithm solves ℓ-set agreement among n asynchronous processes of
+// which up to x may crash, whenever the input vector belongs to an
+// (x,ℓ)-legal condition: every view scanned from the snapshot with at most
+// x missing entries decodes (Definition 4 / Theorem 1) to between 1 and ℓ
+// values, and because atomic snapshots are totally ordered by containment,
+// the decoded sets are nested — at most ℓ values are ever decided, whatever
+// the input. Termination, as always with the condition-based approach, is
+// guaranteed only when the input belongs to the condition (or some process
+// decides and its decision is adopted); the package reports processes that
+// give up waiting, which is the executable face of the ℓ ≤ x impossibility.
+//
+// Paper map:
+//
+//	Section 4     Run — the condition-based asynchronous algorithm
+//	Definition 4  view decoding against the condition (via condition)
+//	Theorems 8–9  the give-up path mirrors the ℓ ≤ x impossibility
+//
+// Three interchangeable linearizable memory substrates back the snapshot:
+// the lock-serialized simulation (MutexMemory), the wait-free Afek et al.
+// construction (WaitFreeMemory), and an ABD quorum emulation over an
+// asynchronous message-passing network (MessagePassingMemory, x < n/2).
+package async

@@ -1,9 +1,3 @@
-// Package core implements the paper's primary contribution (Section 6): the
-// synchronous condition-based k-set agreement algorithm of Figure 2,
-// together with the classical flood-based k-set agreement baseline it
-// generalizes, the early-deciding extension sketched in Section 8, and a
-// verifier for the termination/validity/agreement properties and round
-// bounds.
 package core
 
 import (

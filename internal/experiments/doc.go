@@ -1,0 +1,17 @@
+// Package experiments regenerates every evaluation artifact of the paper
+// (see DESIGN.md's experiment index): the Figure-1 lattice, the Table-1
+// counterexample, the NB(x,ℓ) condition sizes, the round-complexity
+// claims of Theorem 10 and Lemmas 1–2, the size/speed tradeoff, the
+// dividing power of k, the early-deciding extension, baseline comparisons,
+// worst-case tightness, and the asynchronous algorithm. Each experiment
+// returns a human-readable report whose tables mirror what the paper
+// states; cmd/experiments prints them and EXPERIMENTS.md records them.
+//
+// Paper map (experiment → claim):
+//
+//	E1  Figure 1 lattice arrows        E6  the dividing power of k
+//	E2  Table 1 / Theorem 14           E7  early deciding (Section 8)
+//	E3  Theorems 3 and 13 sizes        E8  classical baseline contrast
+//	E4  Theorem 10 round bounds        E9  exhaustive adversary safety
+//	E5  the d size/speed tradeoff      E10 the Section-4 asynchronous run
+package experiments

@@ -1,11 +1,3 @@
-// Package experiments regenerates every evaluation artifact of the paper
-// (see DESIGN.md's experiment index): the Figure-1 lattice, the Table-1
-// counterexample, the NB(x,ℓ) condition sizes, the round-complexity
-// claims of Theorem 10 and Lemmas 1–2, the size/speed tradeoff, the
-// dividing power of k, the early-deciding extension, baseline comparisons,
-// worst-case tightness, and the asynchronous algorithm. Each experiment
-// returns a human-readable report whose tables mirror what the paper
-// states; cmd/experiments prints them and EXPERIMENTS.md records them.
 package experiments
 
 import (

@@ -1,0 +1,11 @@
+// Package kerr holds the sentinel errors shared by every constructor and
+// run entry point of the module. It implements no paper section — it is
+// the error vocabulary the paper-mapped packages (condition, core, count,
+// async) speak with one voice.
+//
+// The internal packages wrap the sentinels with fmt.Errorf("...: %w", ...)
+// so callers can classify failures with errors.Is while still reading a
+// precise message; the root kset package re-exports them as
+// kset.ErrBadParams, kset.ErrDomainTooLarge and kset.ErrBadInput, whose
+// doc comments enumerate exactly which entry points return each.
+package kerr

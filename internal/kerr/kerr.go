@@ -1,9 +1,3 @@
-// Package kerr holds the sentinel errors shared by every constructor and
-// run entry point of the module. The internal packages wrap them with
-// fmt.Errorf("...: %w", ...) so callers can classify failures with
-// errors.Is while still reading a precise message; the root kset package
-// re-exports them as kset.ErrBadParams, kset.ErrDomainTooLarge and
-// kset.ErrBadInput.
 package kerr
 
 import "errors"

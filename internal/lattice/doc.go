@@ -1,0 +1,25 @@
+// Package lattice implements the Section-3 structure results of Bonnet &
+// Raynal: the inclusion lattice of the sets of (x,ℓ)-legal conditions
+// (Theorems 4–9, summarized by the paper's Figure 1) and the Appendix-B
+// diagonal incomparability results (Theorems 14 and 15), both as executable
+// constructions and as verification harnesses.
+//
+// In the paper's Figure 1, a pair (x,ℓ) stands for the set of all
+// (x,ℓ)-legal conditions; an arrow (a,b) → (a',b') means every (a,b)-legal
+// condition is (a',b')-legal. The verified arrows are:
+//
+//	(x+1, ℓ) → (x, ℓ)      (Theorem 4; strict by Theorem 5)
+//	(x, ℓ)   → (x, ℓ+1)    (Theorem 6; strict by Theorem 7)
+//
+// and the diagonal (x,ℓ) vs (x+1,ℓ+1) is incomparable (Theorems 14, 15).
+// The condition containing all input vectors is (x,ℓ)-legal iff ℓ > x
+// (Theorems 8 and 9) — the condition-based face of the asynchronous ℓ-set
+// agreement impossibility for ℓ ≤ x.
+//
+// Paper map:
+//
+//	Figure 1        VerifyCell / Grid — every arrow of one (x,ℓ) cell
+//	Table 1         Table1Condition — the running counterexample
+//	Theorems 5, 7   strictness witnesses
+//	Theorems 14, 15 diagonal incomparability (Appendix B)
+package lattice

@@ -1,0 +1,28 @@
+// Package rounds implements the synchronous round-based message-passing
+// model of the paper's Section 6.2: computation proceeds in rounds made of
+// a send phase, a receive phase and a compute phase; a message sent in
+// round r is received in round r; processes fail by crashing.
+//
+// Crash semantics follow the paper's refinement of the standard model:
+// every process sends its round messages in a predetermined order
+// (p_1, …, p_n in round 1), and a process that crashes during its send
+// phase delivers only a prefix of them. Round 1's fixed order is what makes
+// the processes' views of the input vector totally ordered by containment —
+// the property the Figure-2 algorithm's agreement argument builds on.
+// In later rounds the adversary may reorder deliveries (the paper permits
+// any order after round 1).
+//
+// Two executors with identical semantics are provided: a deterministic
+// in-line executor used for exhaustive adversary model checking, and a
+// goroutine-per-process executor exercised under the race detector.
+//
+// Paper map:
+//
+//	Section 6.2   the model: rounds, prefix-send crashes, FailurePattern
+//	Section 6.3   the view-containment invariant round 1 establishes
+//
+// The Engine is the module's synchronous hot path: it reuses its n×n
+// message matrix and per-round buffers across runs (RunInto + Result.Reset
+// make stats-only campaign runs allocation-free), with a shared-row fast
+// path for rounds in which no sender crashed.
+package rounds

@@ -1,20 +1,3 @@
-// Package rounds implements the synchronous round-based message-passing
-// model of the paper's Section 6.2: computation proceeds in rounds made of
-// a send phase, a receive phase and a compute phase; a message sent in
-// round r is received in round r; processes fail by crashing.
-//
-// Crash semantics follow the paper's refinement of the standard model:
-// every process sends its round messages in a predetermined order
-// (p_1, …, p_n in round 1), and a process that crashes during its send
-// phase delivers only a prefix of them. Round 1's fixed order is what makes
-// the processes' views of the input vector totally ordered by containment —
-// the property the Figure-2 algorithm's agreement argument builds on.
-// In later rounds the adversary may reorder deliveries (the paper permits
-// any order after round 1).
-//
-// Two executors with identical semantics are provided: a deterministic
-// in-line executor used for exhaustive adversary model checking, and a
-// goroutine-per-process executor exercised under the race detector.
 package rounds
 
 import (

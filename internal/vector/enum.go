@@ -1,32 +1,78 @@
 package vector
 
+// Enum is a resumable enumerator over the full vectors of {1..m}^n in
+// lexicographic order. Unlike the callback-style ForEach it is a pull
+// iterator: callers interleave Next with other work, suspend, and resume
+// where they left off — the shape streaming scenario generators need.
+// The zero Enum is empty; build one with NewEnum.
+type Enum struct {
+	n, m    int
+	cur     Vector
+	started bool
+	done    bool
+}
+
+// NewEnum returns an enumerator positioned before the first vector of
+// {1..m}^n (there are m^n of them). A non-positive m or negative n yields
+// an empty enumeration.
+func NewEnum(n, m int) *Enum {
+	e := &Enum{n: n, m: m}
+	if n < 0 || m < 1 {
+		e.done = true
+	}
+	return e
+}
+
+// Next advances to the next vector and returns it, or false when the
+// enumeration is exhausted. The returned vector is the enumerator's
+// reusable buffer: Clone it to retain it past the following Next call.
+func (e *Enum) Next() (Vector, bool) {
+	if e.done {
+		return nil, false
+	}
+	if !e.started {
+		if e.n < 0 || e.m < 1 { // the zero Enum is empty
+			e.done = true
+			return nil, false
+		}
+		e.started = true
+		e.cur = make(Vector, e.n)
+		for i := range e.cur {
+			e.cur[i] = 1
+		}
+		return e.cur, true
+	}
+	// Odometer increment over {1..m}^n.
+	i := e.n - 1
+	for i >= 0 {
+		if e.cur[i] < Value(e.m) {
+			e.cur[i]++
+			break
+		}
+		e.cur[i] = 1
+		i--
+	}
+	if i < 0 {
+		e.done = true
+		return nil, false
+	}
+	return e.cur, true
+}
+
+// Reset rewinds the enumerator to before the first vector.
+func (e *Enum) Reset() {
+	e.started = false
+	e.done = e.n < 0 || e.m < 1
+}
+
 // ForEach enumerates every full input vector of size n over the value
 // domain {1..m} and calls fn on each. The callback receives a reusable
 // buffer: it must Clone the vector if it retains it. Enumeration stops
 // early if fn returns false. There are m^n such vectors.
 func ForEach(n, m int, fn func(Vector) bool) {
-	if n < 0 || m < 1 {
-		return
-	}
-	cur := make(Vector, n)
-	for i := range cur {
-		cur[i] = 1
-	}
-	for {
-		if !fn(cur) {
-			return
-		}
-		// Odometer increment over {1..m}^n.
-		i := n - 1
-		for i >= 0 {
-			if cur[i] < Value(m) {
-				cur[i]++
-				break
-			}
-			cur[i] = 1
-			i--
-		}
-		if i < 0 {
+	e := NewEnum(n, m)
+	for v, ok := e.Next(); ok; v, ok = e.Next() {
+		if !fn(v) {
 			return
 		}
 	}

@@ -1,12 +1,3 @@
-// Package vector implements the input-vector algebra of Bonnet & Raynal,
-// "Conditions for Set Agreement with an Application to Synchronous Systems"
-// (Section 2.1): proposed values, input vectors, views with ⊥ entries,
-// containment, Hamming and generalized distances, and intersecting vectors.
-//
-// Throughout, an input vector I has one entry per process; entry i holds the
-// value proposed by process p_i, or Bottom (⊥) if p_i took no step. A vector
-// with no Bottom entry is a (full) input vector; a vector with possible
-// Bottom entries is a view, usually written J in the paper.
 package vector
 
 import (

@@ -2,6 +2,7 @@ package vector
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -383,6 +384,48 @@ func TestForEachCountsAllVectors(t *testing.T) {
 			t.Errorf("ForEach(%d,%d): %d vectors (%d distinct), want %d",
 				tc.n, tc.m, count, len(seen), tc.want)
 		}
+	}
+}
+
+func TestEnumResumableAndEdgeCases(t *testing.T) {
+	// The zero Enum is empty, as documented.
+	var zero Enum
+	if v, ok := zero.Next(); ok {
+		t.Fatalf("zero Enum yielded %v", v)
+	}
+	// Degenerate domains are empty; n=0 over a non-empty domain yields
+	// exactly the one empty vector (m^0 = 1).
+	if _, ok := NewEnum(2, 0).Next(); ok {
+		t.Fatal("m=0 enumeration yielded a vector")
+	}
+	if v, ok := NewEnum(0, 3).Next(); !ok || len(v) != 0 {
+		t.Fatalf("n=0 first yield = %v, %v; want empty vector, true", v, ok)
+	}
+	// Suspending and resuming mid-stream matches ForEach, and Reset
+	// rewinds to the start.
+	var viaForEach []string
+	ForEach(3, 2, func(v Vector) bool {
+		viaForEach = append(viaForEach, v.Key())
+		return true
+	})
+	e := NewEnum(3, 2)
+	var viaEnum []string
+	for i := 0; i < 3; i++ { // pull a prefix, then keep going
+		v, ok := e.Next()
+		if !ok {
+			t.Fatal("enumeration ended early")
+		}
+		viaEnum = append(viaEnum, v.Key())
+	}
+	for v, ok := e.Next(); ok; v, ok = e.Next() {
+		viaEnum = append(viaEnum, v.Key())
+	}
+	if !reflect.DeepEqual(viaEnum, viaForEach) {
+		t.Fatalf("Enum stream %v != ForEach stream %v", viaEnum, viaForEach)
+	}
+	e.Reset()
+	if v, ok := e.Next(); !ok || v.Key() != viaForEach[0] {
+		t.Fatalf("after Reset: %v, %v; want %s, true", v, ok, viaForEach[0])
 	}
 }
 

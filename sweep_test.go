@@ -1,0 +1,116 @@
+package kset_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kset"
+)
+
+// TestSweepDegreesTradeoff reruns the tradeoff example's grid and pins
+// the paper's trade-off: along d = 0..t−ℓ the condition size grows and,
+// under the forcing adversary, the decision round meets
+// max(2, ⌊(d+ℓ−1)/k⌋+1) exactly.
+func TestSweepDegreesTradeoff(t *testing.T) {
+	const n, m, tt, k, l = 9, 4, 6, 1, 1
+	input := kset.VectorOf(4, 4, 4, 4, 4, 4, 4, 2, 1)
+	points, err := kset.SweepDegrees(
+		kset.Params{N: n, T: tt, K: k, L: l}, m,
+		func(p kset.Params, c *kset.MaxCondition) kset.ScenarioSource {
+			fp := kset.InitialCrashes(n, min(p.X()+1, tt))
+			return kset.CrossFailures(kset.Inputs(input), fp)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != tt-l+1 {
+		t.Fatalf("grid has %d points, want %d", len(points), tt-l+1)
+	}
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSize := int64(-1)
+	for i, r := range results {
+		if want := fmt.Sprintf("d=%d", i); r.Key != want {
+			t.Fatalf("result %d keyed %q, want %q", i, r.Key, want)
+		}
+		if r.Stats.Runs != 1 || r.Stats.Violations != 0 {
+			t.Fatalf("%s: runs=%d violations=%d", r.Key, r.Stats.Runs, r.Stats.Violations)
+		}
+		if got, want := r.Stats.MaxDecisionRound(), r.Params.RCond(); got != want {
+			t.Fatalf("%s: decided in round %d, want RCond = %d", r.Key, got, want)
+		}
+		nb, err := kset.ConditionSize(n, m, r.Params.X(), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nb.Int64() <= prevSize {
+			t.Fatalf("%s: NB = %s did not grow (previous %d)", r.Key, nb, prevSize)
+		}
+		prevSize = nb.Int64()
+	}
+}
+
+func TestSweepFailuresAndExecutorsKeys(t *testing.T) {
+	p := kset.Params{N: 5, T: 3, K: 2, D: 3, L: 1}
+	cond, err := kset.NewMaxCondition(p.N, 3, p.X(), p.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := kset.SweepPoint{
+		Options: []kset.Option{kset.WithParams(p), kset.WithCondition(cond)},
+		Source:  kset.Inputs(kset.VectorOf(3, 2, 1, 1, 2)),
+	}
+	points := kset.SweepExecutors(
+		kset.SweepFailures(base, kset.InitialCrashFamily(p.N, 2)),
+		kset.Figure2, kset.EarlyDeciding)
+	if len(points) != 6 {
+		t.Fatalf("expanded to %d points, want 3×2 = 6", len(points))
+	}
+	wantKeys := []string{
+		"figure2/initial=0", "early/initial=0",
+		"figure2/initial=1", "early/initial=1",
+		"figure2/initial=2", "early/initial=2",
+	}
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(results))
+	for i, r := range results {
+		keys[i] = r.Key
+		if r.Stats.Runs != 1 || r.Stats.Violations != 0 {
+			t.Fatalf("%s: runs=%d violations=%d", r.Key, r.Stats.Runs, r.Stats.Violations)
+		}
+	}
+	if !reflect.DeepEqual(keys, wantKeys) {
+		t.Fatalf("keys = %v, want %v", keys, wantKeys)
+	}
+}
+
+func TestSweepDegreesBadParams(t *testing.T) {
+	// ℓ > t leaves no degree where the condition helps; must error, not
+	// panic on a negative grid capacity.
+	_, err := kset.SweepDegrees(kset.Params{N: 4, T: 1, K: 3, L: 3}, 4,
+		func(p kset.Params, c *kset.MaxCondition) kset.ScenarioSource {
+			return kset.Inputs(kset.VectorOf(1, 1, 1, 1))
+		})
+	if !errors.Is(err, kset.ErrBadParams) {
+		t.Fatalf("err = %v, want ErrBadParams", err)
+	}
+}
+
+func TestRunSweepBadPoint(t *testing.T) {
+	points := []kset.SweepPoint{{
+		Key:     "broken",
+		Options: nil, // no params: New must fail
+		Source:  kset.Inputs(kset.VectorOf(1, 2)),
+	}}
+	if _, err := kset.RunSweep(context.Background(), points); !errors.Is(err, kset.ErrBadParams) {
+		t.Fatalf("err = %v, want ErrBadParams", err)
+	}
+}
