@@ -158,18 +158,16 @@ func BenchmarkE8Baseline(b *testing.B) {
 }
 
 // BenchmarkE9Adversary times an exhaustive safety sweep of one input over
-// every ≤t-crash prefix-send pattern (the model-checking kernel).
+// every ≤t-crash prefix-send pattern (the model-checking kernel), on the
+// buffer-reusing Exhaust driver: one engine, protocol state and Result
+// serve the whole sweep.
 func BenchmarkE9Adversary(b *testing.B) {
 	p := core.Params{N: 4, T: 2, K: 2, D: 1, L: 1}
 	c := condition.MustNewMax(p.N, 2, p.X(), p.L)
 	input := vector.OfInts(2, 2, 1, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		err := adversary.Enumerate(p.N, p.T, p.RMax(), func(fp rounds.FailurePattern) bool {
-			res, err := core.Run(p, c, input, fp, false)
-			if err != nil {
-				b.Fatal(err)
-			}
+		err := core.Exhaust(p, c, input, func(fp rounds.FailurePattern, res *rounds.Result) bool {
 			if !core.Verify(input, fp, res, p.K).OK() {
 				b.Fatal("spec violated")
 			}

@@ -118,6 +118,48 @@ func ExampleConditionMembers() {
 	// [1 1 1 1] [1 2 2 2] [2 1 2 2] [2 2 1 2] [2 2 2 1] [2 2 2 2]
 }
 
+// ExampleCompileCondition compiles a hand-built explicit condition once
+// and drives a campaign over its own members: every membership probe and
+// the member stream ride the compiled O(1) index (New would also compile
+// the explicit condition automatically — compiling by hand lets one
+// immutable index serve systems and scenario sources alike).
+func ExampleCompileCondition() {
+	p := kset.Params{N: 4, T: 2, K: 1, D: 1, L: 1}
+	ec, err := kset.NewExplicitCondition(p.N, 3, p.L)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Three codewords, each recognizing its majority value (x = t−d = 1:
+	// every recognized value occupies > 1 entry).
+	for _, row := range []struct {
+		in kset.Vector
+		h  kset.Value
+	}{
+		{kset.VectorOf(1, 1, 1, 2), 1},
+		{kset.VectorOf(2, 2, 3, 2), 2},
+		{kset.VectorOf(3, 1, 3, 3), 3},
+	} {
+		if err := ec.Add(row.in, kset.SetOf(row.h)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cc := kset.CompileCondition(ec)
+
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(cc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sys.RunSource(context.Background(), kset.ConditionMembers(cc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("members:", cc.Size(), "runs:", stats.Runs, "hits:", stats.ConditionHits)
+	fmt.Println("all decided by round", len(stats.DecisionRounds)-1)
+	// Output:
+	// members: 3 runs: 3 hits: 3
+	// all decided by round 2
+}
+
 // ExampleRandomInputs draws seeded random inputs: the same seed yields
 // the same stream, every time it is iterated.
 func ExampleRandomInputs() {

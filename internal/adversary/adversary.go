@@ -89,7 +89,11 @@ func Random(r *rand.Rand, n, t, maxRounds int) rounds.FailurePattern {
 //
 // The pattern space is Σ_{f≤t} C(n,f)·(maxRounds·(n+1))^f: exhaustive model
 // checking is practical for small n, t and round counts only — use Count
-// to budget before running. The callback must not retain the pattern.
+// to budget before running. The callback must not retain the pattern: one
+// pattern and its Crashes map are reused across every step, so the
+// enumeration itself allocates nothing after its single map. core.Exhaust
+// couples this with a reused engine and Result for allocation-free safety
+// sweeps.
 func Enumerate(n, t, maxRounds int, fn func(rounds.FailurePattern) bool) error {
 	if n < 1 || t < 0 || t > n || maxRounds < 1 {
 		return fmt.Errorf("adversary: bad enumeration domain n=%d t=%d rounds=%d", n, t, maxRounds)

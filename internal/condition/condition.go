@@ -59,6 +59,8 @@ type Explicit struct {
 	hs      []vector.Set
 }
 
+var _ Indexed = (*Explicit)(nil)
+
 // NewExplicit creates an empty explicit condition over {1..m}^n with
 // parameter ℓ. It rejects an m beyond the 64-value domain cap of the
 // bitmask value sets (vector.MaxSetValue): such a condition could never
@@ -149,11 +151,37 @@ func (c *Explicit) MustAdd(i vector.Vector, h vector.Set) {
 // AddAuto inserts i recognized by the given Recognizer.
 func (c *Explicit) AddAuto(i vector.Vector, h Recognizer) error { return c.Add(i, h(i)) }
 
-// Size returns the number of member vectors.
+// Size implements Indexed: the number of member vectors.
 func (c *Explicit) Size() int { return len(c.vecs) }
 
-// Members returns the member vectors (shared storage; do not mutate).
-func (c *Explicit) Members() []vector.Vector { return c.vecs }
+// Members returns an independent deep copy of the member vectors, in
+// insertion order. Mutating the copies cannot corrupt the condition's
+// index (the previous shared-storage contract let a careless caller do
+// exactly that); iteration that needs no ownership should use the
+// allocation-free Indexed accessors Size/MemberAt instead.
+func (c *Explicit) Members() []vector.Vector {
+	out := make([]vector.Vector, len(c.vecs))
+	for k, v := range c.vecs {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// MemberAt implements Indexed: member k in insertion order, as a read-only
+// view of the condition's own storage (do not mutate).
+func (c *Explicit) MemberAt(k int) vector.Vector { return c.vecs[k] }
+
+// RecognizedAt implements Indexed.
+func (c *Explicit) RecognizedAt(k int) vector.Set { return c.hs[k] }
+
+// Lookup returns h(i) and whether i is a member, in a single map probe —
+// the fused Contains+Recognize the view decoder uses per completion.
+func (c *Explicit) Lookup(i vector.Vector) (vector.Set, bool) {
+	if idx, ok := c.lookup(i); ok {
+		return c.hs[idx], true
+	}
+	return vector.Set{}, false
+}
 
 // SetRecognized replaces the recognized set of an existing member.
 func (c *Explicit) SetRecognized(i vector.Vector, h vector.Set) error {

@@ -52,18 +52,35 @@ func DecodeView(c Condition, j vector.Vector) (vector.Set, bool) {
 	return DecodeViewGeneric(c, j)
 }
 
+// lookuper is implemented by conditions that answer Contains and Recognize
+// together in one probe (Explicit and Compiled do).
+type lookuper interface {
+	Lookup(i vector.Vector) (vector.Set, bool)
+}
+
 // DecodeViewGeneric is the enumeration fallback of DecodeView, exported so
 // that tests and benchmarks can compare specialized decoders against it.
+// Conditions implementing the fused Lookup (Explicit and Compiled) pay one
+// index probe per completion instead of a Contains/Recognize pair.
 func DecodeViewGeneric(c Condition, j vector.Vector) (vector.Set, bool) {
 	var acc vector.Set
 	found := false
+	lk, fused := c.(lookuper)
 	vector.ForEachCompletion(j, c.M(), func(i vector.Vector) bool {
-		if !c.Contains(i) {
-			return true
+		var h vector.Set
+		if fused {
+			var ok bool
+			if h, ok = lk.Lookup(i); !ok {
+				return true
+			}
+		} else {
+			if !c.Contains(i) {
+				return true
+			}
+			h = c.Recognize(i)
 		}
-		h := c.Recognize(i)
 		if !found {
-			acc = h.Clone()
+			acc = h
 			found = true
 		} else {
 			acc = acc.Intersect(h)

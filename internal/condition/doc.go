@@ -24,10 +24,29 @@
 //
 // Paper map:
 //
-//	Definition 2          Check, ExistsRecognizer       (legality)
-//	Section 2.3           MaxCondition, MinCondition    (Theorem 2)
-//	Definition 4 / Thm 1  DecodeView, Predicate         (view decoding)
-//	Table 1 etc.          Explicit                      (enumerated conditions)
+//	Definition 2          Checker, Check, ExistsRecognizer  (legality)
+//	Section 2.3           MaxCondition, MinCondition        (Theorem 2)
+//	Definition 4 / Thm 1  DecodeView, Predicate             (view decoding)
+//	Table 1 etc.          Explicit, Builder                 (enumerated conditions)
+//	(representation)      Compiled, Compile, CompileMax/Min (the compiled index)
+//
+// # Two representations of an enumerated condition
+//
+// Explicit is the mutable construction-time form: a map-backed set that
+// vectors are added to one by one. Compiled is the immutable analysis- and
+// run-time form produced by Compile (or directly by a Builder, or by the
+// CompileMax/CompileMin enumerating constructors): a flat member array
+// indexed by a sorted packed-key table with open addressing, so Contains,
+// Recognize and the fused Lookup cost one probe and zero allocations, and
+// per-member count/densest-mass tables answer the mass queries of
+// legality checking and recognizer search in O(|set|). Both implement
+// Indexed, the read-only positional view that the legality Checker, the
+// Stream iterator and the root package's scenario generators walk without
+// copying. kset.System compiles explicit conditions at construction.
+//
+// Legality verification at scale goes through a Checker, which owns every
+// scratch buffer the subset walk needs; the package-level Check and
+// ExistsRecognizer remain as one-shot conveniences.
 //
 // Member enumeration is available in both styles: the callback-based
 // Condition.ForEachMember and the resumable pull iterator Stream, which

@@ -59,33 +59,90 @@ type CheckOptions struct {
 	MaxSubsetSize int
 }
 
+// Checker holds the reusable scratch of legality checking and recognizer
+// search: member and witness buffers, the subset-recursion index stack and
+// the intersecting-view scratch. One Checker verifying many conditions —
+// a Figure-1 grid sweep above all — allocates nothing per probe on the
+// success path (violations allocate their witness). A Checker is not safe
+// for concurrent use; the zero value is ready.
+type Checker struct {
+	members    []vector.Vector
+	hs         []vector.Set
+	idx        []int
+	sub        []vector.Vector
+	subH       []vector.Set
+	inter      vector.Vector
+	interStack []vector.Value // per-depth intersecting views of the subset walk
+
+	// Recognizer-search scratch: per-member candidate sets in one flat
+	// buffer with offsets, and the value scratch of subset enumeration.
+	candFlat []vector.Set
+	candOff  []int
+}
+
+// NewChecker returns an empty Checker; its buffers grow to the largest
+// condition seen and are reused afterwards.
+func NewChecker() *Checker { return &Checker{} }
+
+// load fills the checker's member/recognized buffers from c: borrowing
+// storage positionally from Indexed conditions, cloning from the generic
+// enumeration otherwise.
+func (ck *Checker) load(c Condition) {
+	ck.members = ck.members[:0]
+	ck.hs = ck.hs[:0]
+	if ix, ok := c.(Indexed); ok {
+		for k, size := 0, ix.Size(); k < size; k++ {
+			ck.members = append(ck.members, ix.MemberAt(k))
+			ck.hs = append(ck.hs, ix.RecognizedAt(k))
+		}
+		return
+	}
+	c.ForEachMember(func(i vector.Vector) bool {
+		ck.members = append(ck.members, i.Clone())
+		return true
+	})
+	for _, i := range ck.members {
+		ck.hs = append(ck.hs, c.Recognize(i))
+	}
+}
+
 // Check verifies that the condition c, with its own recognizing function,
 // is (x, c.L())-legal, returning a witnessed *Violation if not and nil if
 // legal. The distance property is checked over every subset of members of
-// size 2..MaxSubsetSize.
-func Check(c Condition, x int, opts CheckOptions) *Violation {
+// size 2..MaxSubsetSize. The success path performs no allocation beyond
+// the checker's amortized scratch growth.
+func (ck *Checker) Check(c Condition, x int, opts CheckOptions) *Violation {
 	l := c.L()
-	var members []vector.Vector
-	c.ForEachMember(func(i vector.Vector) bool {
-		members = append(members, i.Clone())
-		return true
-	})
+	ck.load(c)
+	cc, compiled := c.(*Compiled)
 
 	// Validity and density, per member.
-	for _, i := range members {
-		h := c.Recognize(i)
-		want := min(l, i.Vals().Len())
-		if h.Len() != want || !h.SubsetOf(i.Vals()) {
+	for k, i := range ck.members {
+		h := ck.hs[k]
+		var vals vector.Set
+		if compiled {
+			vals = cc.ValsAt(k)
+		} else {
+			vals = i.Vals()
+		}
+		want := min(l, vals.Len())
+		if h.Len() != want || !h.SubsetOf(vals) {
 			return &Violation{
 				Property: Validity,
-				Vectors:  []vector.Vector{i},
-				Detail:   fmt.Sprintf("h(%v)=%v, want %d values from val=%v", i, h, want, i.Vals()),
+				Vectors:  cloneVectors(i),
+				Detail:   fmt.Sprintf("h(%v)=%v, want %d values from val=%v", i, h, want, vals),
 			}
 		}
-		if mass := i.MassOf(h); mass <= x {
+		var mass int
+		if compiled {
+			mass = cc.Mass(k, h)
+		} else {
+			mass = i.MassOf(h)
+		}
+		if mass <= x {
 			return &Violation{
 				Property: Density,
-				Vectors:  []vector.Vector{i},
+				Vectors:  cloneVectors(i),
 				Detail:   fmt.Sprintf("Σ_{v∈h(I)}#_v(I) = %d ≤ x = %d for I=%v, h=%v", mass, x, i, h),
 			}
 		}
@@ -93,57 +150,128 @@ func Check(c Condition, x int, opts CheckOptions) *Violation {
 
 	// Distance, over subsets.
 	maxZ := opts.MaxSubsetSize
-	if maxZ <= 0 || maxZ > len(members) {
-		maxZ = len(members)
+	if maxZ <= 0 || maxZ > len(ck.members) {
+		maxZ = len(ck.members)
 	}
-	hs := make([]vector.Set, len(members))
-	for k, i := range members {
-		hs[k] = c.Recognize(i)
-	}
-	return checkDistanceSubsets(members, hs, x, maxZ)
+	return ck.distanceSubsets(ck.members, ck.hs, x, maxZ)
 }
 
-// checkDistanceSubsets checks the distance property over every subset of
-// size 2..maxZ of the given vectors with their recognized sets.
-func checkDistanceSubsets(members []vector.Vector, hs []vector.Set, x, maxZ int) *Violation {
-	idx := make([]int, 0, maxZ)
-	var rec func(start int) *Violation
-	rec = func(start int) *Violation {
-		if len(idx) >= 2 {
-			sub := make([]vector.Vector, len(idx))
-			subH := make([]vector.Set, len(idx))
-			for k, j := range idx {
-				sub[k] = members[j]
-				subH[k] = hs[j]
-			}
-			if v := CheckDistanceInstance(sub, subH, x); v != nil {
-				return v
-			}
-		}
-		if len(idx) == maxZ {
-			return nil
-		}
+// Check verifies (x, c.L())-legality with a one-shot Checker. Sweeps that
+// verify many conditions should hold a Checker and call its Check instead.
+func Check(c Condition, x int, opts CheckOptions) *Violation {
+	return NewChecker().Check(c, x, opts)
+}
+
+// distanceSubsets checks the distance property over every subset of size
+// 2..maxZ of the given vectors with their recognized sets. The subset walk
+// carries the intersecting view, the generalized distance and the
+// recognized-set intersection incrementally (one O(n) merge per node
+// instead of rebuilding every subset from scratch), and prunes on the
+// monotonicity of d_G: members are full vectors, so adding one can only
+// grow the distance, and once a subset has d_G > x no superset can ever
+// satisfy the property's premise again. All scratch lives in the checker.
+func (ck *Checker) distanceSubsets(members []vector.Vector, hs []vector.Set, x, maxZ int) *Violation {
+	if len(members) < 2 || maxZ < 2 {
+		return nil
+	}
+	n := len(members[0])
+	if cap(ck.interStack) < maxZ*n {
+		ck.interStack = make([]vector.Value, maxZ*n)
+	}
+	ck.idx = ck.idx[:0]
+	// rec extends the chosen prefix (ck.idx, its intersection at stack
+	// level len(idx)−1, distance dg and recognized intersection common)
+	// with members[start..].
+	var rec func(start, dg int, common vector.Set) *Violation
+	rec = func(start, dg int, common vector.Set) *Violation {
+		depth := len(ck.idx)
+		cur := ck.interStack[(depth-1)*n : depth*n]
 		for j := start; j < len(members); j++ {
-			idx = append(idx, j)
-			if v := rec(j + 1); v != nil {
-				return v
+			mj := members[j]
+			next := ck.interStack[depth*n : (depth+1)*n]
+			ndg := dg
+			for k := 0; k < n; k++ {
+				cv := cur[k]
+				if cv != vector.Bottom && cv != mj[k] {
+					ndg++
+					next[k] = vector.Bottom
+				} else {
+					next[k] = cv
+				}
 			}
-			idx = idx[:len(idx)-1]
+			if ndg > x {
+				continue // no α ∈ [1,x] binds here, nor for any superset
+			}
+			ncommon := common.Intersect(hs[j])
+			// Binding instance α* = min(x, x−ndg+1); see
+			// CheckDistanceInstance for why checking it covers all α.
+			alpha := x - ndg + 1
+			if alpha > x {
+				alpha = x
+			}
+			if alpha >= 1 {
+				mass := 0
+				for k := 0; k < n; k++ {
+					if ncommon.Has(next[k]) {
+						mass++
+					}
+				}
+				if mass < alpha {
+					ck.idx = append(ck.idx, j)
+					return ck.distanceViolation(members, ndg, mass, alpha, ncommon, x)
+				}
+			}
+			if depth+1 < maxZ {
+				ck.idx = append(ck.idx, j)
+				if v := rec(j+1, ndg, ncommon); v != nil {
+					return v
+				}
+				ck.idx = ck.idx[:len(ck.idx)-1]
+			}
 		}
 		return nil
 	}
-	return rec(0)
+	for a := 0; a+1 < len(members); a++ {
+		copy(ck.interStack[:n], members[a])
+		ck.idx = append(ck.idx[:0], a)
+		if v := rec(a+1, 0, hs[a]); v != nil {
+			return v
+		}
+	}
+	return nil
 }
 
-// CheckDistanceInstance checks the distance property for one specific set of
-// vectors with their recognized sets: for every α ∈ [1,x] with
-// d_G ≤ x−α+1, the intersecting vector must hold at least α entries with
-// values of ∩_j h(I_j). Returns a Violation or nil.
-//
-// For a fixed subset the hypothesis holds exactly for α ≤ x−d_G+1, and the
-// conclusion "mass ≥ α" is monotone in α, so checking the single binding
-// instance α* = min(x, x−d_G+1) covers all of them.
-func CheckDistanceInstance(vs []vector.Vector, hs []vector.Set, x int) *Violation {
+// cloneVectors deep-copies witness vectors out of borrowed or reused
+// storage, so a returned Violation is caller-owned: mutating it cannot
+// reach back into a condition's index or a checker's scratch.
+func cloneVectors(vs ...vector.Vector) []vector.Vector {
+	out := make([]vector.Vector, len(vs))
+	for k, v := range vs {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// distanceViolation materializes the witnessed failure of the subset in
+// ck.idx — the only allocating path of the subset walk.
+func (ck *Checker) distanceViolation(members []vector.Vector, dg, mass, alpha int, common vector.Set, x int) *Violation {
+	sub := make([]vector.Vector, len(ck.idx))
+	for k, j := range ck.idx {
+		sub[k] = members[j].Clone()
+	}
+	return &Violation{
+		Property: Distance,
+		Vectors:  sub,
+		Alpha:    alpha,
+		Detail: fmt.Sprintf(
+			"d_G=%d ≥ x−α+1=%d but ⊓ holds only %d entries of ∩h=%v (need ≥ α=%d)",
+			dg, x-alpha+1, mass, common, alpha),
+	}
+}
+
+// distanceInstance is CheckDistanceInstance on the checker's intersection
+// scratch: no allocation unless a violation is witnessed.
+func (ck *Checker) distanceInstance(vs []vector.Vector, hs []vector.Set, x int) *Violation {
 	dg := vector.GeneralizedDistance(vs...)
 	if dg > x {
 		return nil // no α ∈ [1,x] satisfies d_G ≥ x−α+1
@@ -159,11 +287,11 @@ func CheckDistanceInstance(vs []vector.Vector, hs []vector.Set, x int) *Violatio
 	for _, h := range hs[1:] {
 		common = common.Intersect(h)
 	}
-	inter := vector.Intersect(vs...)
-	if got := inter.MassOf(common); got < alpha {
+	ck.inter = vector.IntersectInto(ck.inter, vs...)
+	if got := ck.inter.MassOf(common); got < alpha {
 		return &Violation{
 			Property: Distance,
-			Vectors:  vs,
+			Vectors:  cloneVectors(vs...),
 			Alpha:    alpha,
 			Detail: fmt.Sprintf(
 				"d_G=%d ≥ x−α+1=%d but ⊓ holds only %d entries of ∩h=%v (need ≥ α=%d)",
@@ -173,47 +301,91 @@ func CheckDistanceInstance(vs []vector.Vector, hs []vector.Set, x int) *Violatio
 	return nil
 }
 
+// CheckDistanceInstance checks the distance property for one specific set of
+// vectors with their recognized sets: for every α ∈ [1,x] with
+// d_G ≤ x−α+1, the intersecting vector must hold at least α entries with
+// values of ∩_j h(I_j). Returns a Violation or nil.
+//
+// For a fixed subset the hypothesis holds exactly for α ≤ x−d_G+1, and the
+// conclusion "mass ≥ α" is monotone in α, so checking the single binding
+// instance α* = min(x, x−d_G+1) covers all of them.
+func CheckDistanceInstance(vs []vector.Vector, hs []vector.Set, x int) *Violation {
+	var ck Checker
+	return ck.distanceInstance(vs, hs, x)
+}
+
 // ExistsRecognizer searches for any recognizing function making the
 // enumerated condition (x,ℓ)-legal, by backtracking over the candidate
 // recognized sets of each member with pairwise distance pruning and a full
-// subset check on completion. It returns the witness assignment (parallel to
-// Members()) when one exists. The search is exponential; it is intended for
-// the small counterexample conditions of Section 3 and Appendix B.
-func ExistsRecognizer(c *Explicit, x int) ([]vector.Set, bool) {
-	members := c.Members()
+// subset check on completion. It returns the witness assignment (parallel
+// to the member order) when one exists. The search is exponential; it is
+// intended for the small counterexample conditions of Section 3 and
+// Appendix B. Sweeps should hold a Checker and call its ExistsRecognizer.
+func ExistsRecognizer(c Indexed, x int) ([]vector.Set, bool) {
+	return NewChecker().ExistsRecognizer(c, x)
+}
+
+// ExistsRecognizer is the scratch-reusing form of the package-level
+// ExistsRecognizer: candidate sets live in one flat buffer, the pairwise
+// pruning probes reuse the checker's witness and intersection scratch, and
+// only the returned assignment is freshly allocated.
+func (ck *Checker) ExistsRecognizer(c Indexed, x int) ([]vector.Set, bool) {
+	size := c.Size()
 	l := c.L()
+	cc, compiled := c.(*Compiled)
 
 	// Candidate h-sets per member: subsets of val(I) of size min(ℓ,|val|)
 	// whose mass exceeds x (validity + density pre-filter).
-	cands := make([][]vector.Set, len(members))
-	for k, i := range members {
-		vals := i.Vals()
-		size := min(l, vals.Len())
-		subsets := kSubsets(vals, size)
-		for _, s := range subsets {
-			if i.MassOf(s) > x {
-				cands[k] = append(cands[k], s)
+	ck.candFlat = ck.candFlat[:0]
+	ck.candOff = ck.candOff[:0]
+	for k := 0; k < size; k++ {
+		ck.candOff = append(ck.candOff, len(ck.candFlat))
+		var vals vector.Set
+		if compiled {
+			vals = cc.ValsAt(k)
+		} else {
+			vals = c.MemberAt(k).Vals()
+		}
+		start := len(ck.candFlat)
+		ck.candFlat = appendKSubsets(ck.candFlat, vals, min(l, vals.Len()))
+		w := start
+		for r := start; r < len(ck.candFlat); r++ {
+			var mass int
+			if compiled {
+				mass = cc.Mass(k, ck.candFlat[r])
+			} else {
+				mass = c.MemberAt(k).MassOf(ck.candFlat[r])
+			}
+			if mass > x {
+				ck.candFlat[w] = ck.candFlat[r]
+				w++
 			}
 		}
-		if len(cands[k]) == 0 {
+		ck.candFlat = ck.candFlat[:w]
+		if w == start {
 			return nil, false
 		}
 	}
+	ck.candOff = append(ck.candOff, len(ck.candFlat))
 
-	assign := make([]vector.Set, len(members))
+	ck.load(c)
+	members := ck.members
+	assign := make([]vector.Set, size)
+	var pairV [2]vector.Vector
+	var pairH [2]vector.Set
 	var rec func(k int) bool
 	rec = func(k int) bool {
-		if k == len(members) {
-			return checkDistanceSubsets(members, assign, x, len(members)) == nil
+		if k == size {
+			return ck.distanceSubsets(members, assign, x, size) == nil
 		}
-		for _, s := range cands[k] {
+		for _, s := range ck.candFlat[ck.candOff[k]:ck.candOff[k+1]] {
 			assign[k] = s
 			ok := true
 			// Prune: pairwise distance instances against assigned members.
 			for j := 0; j < k && ok; j++ {
-				ok = CheckDistanceInstance(
-					[]vector.Vector{members[j], members[k]},
-					[]vector.Set{assign[j], assign[k]}, x) == nil
+				pairV[0], pairV[1] = members[j], members[k]
+				pairH[0], pairH[1] = assign[j], assign[k]
+				ok = ck.distanceInstance(pairV[:], pairH[:], x) == nil
 			}
 			if ok && rec(k+1) {
 				return true
@@ -228,24 +400,45 @@ func ExistsRecognizer(c *Explicit, x int) ([]vector.Set, bool) {
 	return nil, false
 }
 
-// kSubsets returns every subset of s with exactly k elements.
-func kSubsets(s vector.Set, k int) []vector.Set {
-	vals := s.Values()
-	var out []vector.Set
-	var cur vector.Set
-	var rec func(start, left int)
-	rec = func(start, left int) {
-		if left == 0 {
-			out = append(out, cur)
-			return
+// appendKSubsets appends every subset of s with exactly k elements to dst,
+// in lexicographic order of the ascending value lists. It allocates only
+// when dst must grow.
+func appendKSubsets(dst []vector.Set, s vector.Set, k int) []vector.Set {
+	if k < 0 || k > s.Len() {
+		return dst
+	}
+	if k == 0 {
+		return append(dst, vector.Set{})
+	}
+	var vals [int(vector.MaxSetValue)]vector.Value
+	nv := 0
+	s.ForEach(func(v vector.Value) bool {
+		vals[nv] = v
+		nv++
+		return true
+	})
+	// Standard next-combination enumeration over positions 0..nv-1.
+	var pos [int(vector.MaxSetValue)]int
+	for i := 0; i < k; i++ {
+		pos[i] = i
+	}
+	for {
+		var sub vector.Set
+		for i := 0; i < k; i++ {
+			sub = sub.Add(vals[pos[i]])
 		}
-		for i := start; i+left <= len(vals); i++ {
-			saved := cur
-			cur = cur.Add(vals[i])
-			rec(i+1, left-1)
-			cur = saved
+		dst = append(dst, sub)
+		// Advance: find the rightmost position that can move up.
+		i := k - 1
+		for i >= 0 && pos[i] == nv-k+i {
+			i--
+		}
+		if i < 0 {
+			return dst
+		}
+		pos[i]++
+		for j := i + 1; j < k; j++ {
+			pos[j] = pos[j-1] + 1
 		}
 	}
-	rec(0, k)
-	return out
 }

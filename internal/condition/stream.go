@@ -3,43 +3,44 @@ package condition
 import "kset/internal/vector"
 
 // Stream is a resumable pull iterator over a condition's member vectors —
-// the streaming counterpart of Condition.ForEachMember. Explicit
-// conditions stream their stored members directly; implicit conditions
-// (max_ℓ / min_ℓ) stream by filtering the lexicographic {1..m}^n
-// enumeration, which is practical at small n and m only. Either way the
-// members arrive in a deterministic order, so two streams over the same
-// condition yield identical sequences.
+// the streaming counterpart of Condition.ForEachMember. Indexed
+// conditions (Explicit and Compiled) stream their stored members by
+// position with no copying; implicit conditions (max_ℓ / min_ℓ) stream by
+// filtering the lexicographic {1..m}^n enumeration, which is practical at
+// small n and m only. Either way the members arrive in a deterministic
+// order, so two streams over the same condition yield identical sequences.
 type Stream struct {
-	c        Condition
-	stored   bool            // stored-member fast path (explicit conditions)
-	explicit []vector.Vector // the stored members when stored is true
-	idx      int
-	enum     *vector.Enum // nil until the implicit path starts
+	c    Condition
+	ix   Indexed // non-nil: stored-member fast path
+	idx  int
+	enum *vector.Enum // nil until the implicit path starts
 }
 
 // NewStream returns a stream positioned before the condition's first
 // member.
 func NewStream(c Condition) *Stream {
 	s := &Stream{c: c}
-	if e, ok := c.(*Explicit); ok {
-		s.stored = true
-		s.explicit = e.Members()
+	if ix, ok := c.(Indexed); ok {
+		s.ix = ix
 	}
 	return s
 }
 
 // Next advances to the next member and returns it, or false when the
 // members are exhausted. The returned vector may be a reusable buffer
-// (implicit conditions) or shared storage (explicit conditions): Clone it
-// to retain or mutate it.
+// (implicit conditions) or the condition's own storage (indexed
+// conditions): Clone it to retain or mutate it.
 func (s *Stream) Next() (vector.Vector, bool) {
-	if s.stored || s.c == nil {
-		if s.idx >= len(s.explicit) {
+	if s.ix != nil {
+		if s.idx >= s.ix.Size() {
 			return nil, false
 		}
-		v := s.explicit[s.idx]
+		v := s.ix.MemberAt(s.idx)
 		s.idx++
 		return v, true
+	}
+	if s.c == nil {
+		return nil, false
 	}
 	if s.enum == nil {
 		s.enum = vector.NewEnum(s.c.N(), s.c.M())

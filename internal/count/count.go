@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"sync/atomic"
 
 	"kset/internal/condition"
 	"kset/internal/kerr"
@@ -12,40 +13,76 @@ import (
 
 // The combinatorial kernels — binomials, surjection counts and integer
 // powers — recur with identical arguments throughout a Theorem-13 table
-// sweep, so each is backed by a package-level memo table guarded for
-// concurrent use. The tables hand out *shared* big integers that callers
-// inside this package only read; the exported Comb and Surj return
-// defensive copies so the public contract (a freshly owned value) is
-// unchanged.
+// sweep, so each is backed by a package-level memo table. The tables hand
+// out *shared* big integers that callers inside this package only read;
+// the exported Comb and Surj return defensive copies so the public
+// contract (a freshly owned value) is unchanged.
+//
+// Concurrency: reads load an atomically-swapped immutable snapshot map —
+// no lock, no contention — so NB-heavy sweeps fanning out across
+// goroutines never serialize on a table once it is warm. Writes go through
+// a mutex into a small dirty overlay; when the overlay outgrows a fraction
+// of the snapshot it is merged into a fresh map and the pointer swapped,
+// which keeps total copying linear-amortized in the number of distinct
+// entries. A snapshot map is never mutated after it is published.
 type memoTable struct {
-	mu sync.RWMutex
-	m  map[uint64]*big.Int
+	clean atomic.Pointer[map[uint64]*big.Int] // immutable published snapshot
+	mu    sync.Mutex                          // guards dirty and promotion
+	dirty map[uint64]*big.Int                 // entries newer than the snapshot
 }
 
 func (t *memoTable) get(key uint64) (*big.Int, bool) {
-	t.mu.RLock()
-	v, ok := t.m[key]
-	t.mu.RUnlock()
+	if m := t.clean.Load(); m != nil {
+		if v, ok := (*m)[key]; ok {
+			return v, true
+		}
+	}
+	// Not yet promoted: the entry may still sit in the dirty overlay.
+	t.mu.Lock()
+	v, ok := t.dirty[key]
+	t.mu.Unlock()
 	return v, ok
 }
 
 func (t *memoTable) put(key uint64, v *big.Int) *big.Int {
 	t.mu.Lock()
-	if prior, ok := t.m[key]; ok {
-		v = prior // another goroutine raced us; keep one canonical value
-	} else {
-		t.m[key] = v
+	defer t.mu.Unlock()
+	cleanLen := 0
+	if m := t.clean.Load(); m != nil {
+		if prior, ok := (*m)[key]; ok {
+			return prior // another goroutine raced us; keep one canonical value
+		}
+		cleanLen = len(*m)
 	}
-	t.mu.Unlock()
+	if prior, ok := t.dirty[key]; ok {
+		return prior
+	}
+	if t.dirty == nil {
+		t.dirty = make(map[uint64]*big.Int)
+	}
+	t.dirty[key] = v
+	if len(t.dirty) >= 16+cleanLen/4 {
+		next := make(map[uint64]*big.Int, cleanLen+len(t.dirty))
+		if m := t.clean.Load(); m != nil {
+			for k, vv := range *m {
+				next[k] = vv
+			}
+		}
+		for k, vv := range t.dirty {
+			next[k] = vv
+		}
+		t.clean.Store(&next)
+		t.dirty = make(map[uint64]*big.Int)
+	}
 	return v
 }
 
 func memoKey(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
 
 var (
-	combMemo = memoTable{m: make(map[uint64]*big.Int)}
-	surjMemo = memoTable{m: make(map[uint64]*big.Int)}
-	powMemo  = memoTable{m: make(map[uint64]*big.Int)}
+	combMemo memoTable
+	surjMemo memoTable
+	powMemo  memoTable
 )
 
 // combShared returns the memoized C(n,k); the result is shared and must

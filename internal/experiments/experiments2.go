@@ -176,19 +176,15 @@ func E9Tightness() Report {
 		r.OK = false
 	}
 
-	// Exhaustive safety: every pattern × every input on a small instance.
+	// Exhaustive safety: every pattern × every input on a small instance,
+	// on the buffer-reusing sweep (one engine, one Result for all runs).
 	sp := core.Params{N: 4, T: 2, K: 2, D: 1, L: 1}
 	sc := condition.MustNewMax(sp.N, 2, sp.X(), sp.L)
 	runs, violations := 0, 0
 	vector.ForEach(sp.N, 2, func(in vector.Vector) bool {
 		input := in.Clone()
 		inC := sc.Contains(input)
-		_ = adversary.Enumerate(sp.N, sp.T, sp.RMax(), func(fp rounds.FailurePattern) bool {
-			res, err := core.Run(sp, sc, input, fp, false)
-			if err != nil {
-				violations++
-				return true
-			}
+		err := core.Exhaust(sp, sc, input, func(fp rounds.FailurePattern, res *rounds.Result) bool {
 			v := core.Verify(input, fp, res, sp.K)
 			if !v.OK() || v.MaxRound > core.PredictRounds(sp, inC, fp) {
 				violations++
@@ -196,6 +192,9 @@ func E9Tightness() Report {
 			runs++
 			return true
 		})
+		if err != nil {
+			violations++
+		}
 		return true
 	})
 	fmt.Fprintf(&b, "\nexhaustive model check (n=%d t=%d k=%d d=%d, m=2): %d executions, %d violations\n",

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"kset/internal/condition"
-	"kset/internal/vector"
 )
 
 // Fact records what was mechanically verified for one (x,ℓ) cell of the
@@ -35,17 +34,10 @@ func (f Fact) Verified() bool {
 		f.AllLegal == f.AllExpected
 }
 
-// maxExplicit materializes the max_ℓ-generated (x,ℓ)-legal condition as an
-// explicit condition over {1..m}^n.
-func maxExplicit(n, m, x, l int) *condition.Explicit {
-	c := condition.MustNewExplicit(n, m, l)
-	vector.ForEach(n, m, func(i vector.Vector) bool {
-		if i.MassOf(i.TopL(l)) > x {
-			c.MustAdd(i.Clone(), i.TopL(l))
-		}
-		return true
-	})
-	return c
+// maxCompiled materializes the max_ℓ-generated (x,ℓ)-legal condition as a
+// compiled condition over {1..m}^n.
+func maxCompiled(n, m, x, l int) *condition.Compiled {
+	return condition.MustCompileMax(n, m, x, l)
 }
 
 // checkOpts caps the distance-property subset size during grid verification;
@@ -56,13 +48,20 @@ var checkOpts = condition.CheckOptions{MaxSubsetSize: 3}
 // VerifyCell runs every Figure-1 sub-check at one (x,ℓ) cell over the
 // domain {1..m}^n.
 func VerifyCell(n, m, x, l int) Fact {
+	return verifyCell(condition.NewChecker(), n, m, x, l)
+}
+
+// verifyCell is VerifyCell on a caller-provided Checker, so a grid sweep
+// reuses one set of witness/view scratch buffers across every cell instead
+// of reallocating them per legality probe.
+func verifyCell(ck *condition.Checker, n, m, x, l int) Fact {
 	f := Fact{X: x, L: l, AllExpected: l > x}
 
 	// Theorem 4: the (x+1,ℓ)-legal max condition is (x,ℓ)-legal.
 	if x+1 < n {
-		up := maxExplicit(n, m, x+1, l)
+		up := maxCompiled(n, m, x+1, l)
 		if up.Size() > 0 {
-			f.UpInclusion = condition.Check(up, x, checkOpts) == nil
+			f.UpInclusion = ck.Check(up, x, checkOpts) == nil
 		} else {
 			f.Skipped = append(f.Skipped, "thm4: empty witness")
 		}
@@ -75,11 +74,11 @@ func VerifyCell(n, m, x, l int) Fact {
 	// theorem asserts existence, so when the family is empty over {1..m}
 	// the value domain is widened (larger m can only enlarge the family;
 	// the witness needs enough values to pad entries below the top ℓ).
-	if c5, err := firstNonEmpty(m, func(mm int) (*condition.Explicit, error) {
+	if c5, err := firstNonEmpty(m, func(mm int) (*condition.Compiled, error) {
 		return Theorem5Condition(n, mm, x, l)
 	}); err == nil {
-		legal := condition.Check(c5, x, checkOpts) == nil
-		_, stronger := condition.ExistsRecognizer(c5, x+1)
+		legal := ck.Check(c5, x, checkOpts) == nil
+		_, stronger := ck.ExistsRecognizer(c5, x+1)
 		f.UpStrict = legal && !stronger
 	} else {
 		f.Skipped = append(f.Skipped, fmt.Sprintf("thm5: %v", err))
@@ -87,10 +86,10 @@ func VerifyCell(n, m, x, l int) Fact {
 	}
 
 	// Theorem 6: boosting an (x,ℓ)-legal condition to ℓ+1 stays legal.
-	base := maxExplicit(n, m, x, l)
+	base := maxCompiled(n, m, x, l)
 	if base.Size() > 0 {
 		if boosted, err := BoostL(base); err == nil {
-			f.RightInclusion = condition.Check(boosted, x, checkOpts) == nil
+			f.RightInclusion = ck.Check(boosted, x, checkOpts) == nil
 		} else {
 			f.Skipped = append(f.Skipped, fmt.Sprintf("thm6: %v", err))
 		}
@@ -101,11 +100,11 @@ func VerifyCell(n, m, x, l int) Fact {
 
 	// Theorem 7: some condition is (x,ℓ+1)-legal but not (x,ℓ)-legal.
 	// Existence statement: widen the domain like Theorem 5 above.
-	if c7, err := firstNonEmpty(m, func(mm int) (*condition.Explicit, error) {
+	if c7, err := firstNonEmpty(m, func(mm int) (*condition.Compiled, error) {
 		return Theorem7Condition(n, mm, x, l)
 	}); err == nil {
-		legal := condition.Check(c7, x, checkOpts) == nil
-		_, weaker := condition.ExistsRecognizer(WithL(c7, l), x)
+		legal := ck.Check(c7, x, checkOpts) == nil
+		_, weaker := ck.ExistsRecognizer(WithL(c7, l), x)
 		f.RightStrict = legal && !weaker
 	} else {
 		f.Skipped = append(f.Skipped, fmt.Sprintf("thm7: %v", err))
@@ -115,17 +114,17 @@ func VerifyCell(n, m, x, l int) Fact {
 	// Theorems 8/9: C_all is (x,ℓ)-legal iff ℓ > x.
 	all := AllVectorsCondition(n, m, l)
 	if l > x {
-		f.AllLegal = condition.Check(all, x, checkOpts) == nil
+		f.AllLegal = ck.Check(all, x, checkOpts) == nil
 	} else {
 		// Non-legality is inherited upward (a recognizer for C restricts
 		// to any subset), so a subset with no recognizer refutes C_all.
 		// The Theorem-7 family is such a subset when non-empty; fall back
 		// to deciding C_all itself otherwise.
 		if c7, err := Theorem7Condition(n, m, x, l); err == nil {
-			_, legal := condition.ExistsRecognizer(WithL(c7, l), x)
+			_, legal := ck.ExistsRecognizer(WithL(c7, l), x)
 			f.AllLegal = legal
 		} else {
-			_, legal := condition.ExistsRecognizer(all, x)
+			_, legal := ck.ExistsRecognizer(all, x)
 			f.AllLegal = legal
 		}
 	}
@@ -135,7 +134,7 @@ func VerifyCell(n, m, x, l int) Fact {
 // firstNonEmpty tries a counterexample construction over growing value
 // domains m..m+4 and returns the first non-empty instance; the cell's
 // process count stays fixed, only padding values are added.
-func firstNonEmpty(m int, build func(m int) (*condition.Explicit, error)) (*condition.Explicit, error) {
+func firstNonEmpty(m int, build func(m int) (*condition.Compiled, error)) (*condition.Compiled, error) {
 	var lastErr error
 	for mm := m; mm <= m+4; mm++ {
 		c, err := build(mm)
@@ -148,7 +147,8 @@ func firstNonEmpty(m int, build func(m int) (*condition.Explicit, error)) (*cond
 }
 
 // VerifyFigure1 verifies every cell of the (x,ℓ) grid with x ∈ [0, xMax]
-// and ℓ ∈ [1, lMax] over the vector domain {1..m}^n. xMax must be < n.
+// and ℓ ∈ [1, lMax] over the vector domain {1..m}^n, sharing one legality
+// Checker (and its scratch buffers) across all cells. xMax must be < n.
 func VerifyFigure1(n, m, xMax, lMax int) ([]Fact, error) {
 	if xMax >= n {
 		return nil, fmt.Errorf("lattice: xMax=%d must be < n=%d", xMax, n)
@@ -156,10 +156,11 @@ func VerifyFigure1(n, m, xMax, lMax int) ([]Fact, error) {
 	if lMax < 1 || n < 1 || m < 1 {
 		return nil, fmt.Errorf("lattice: bad grid n=%d m=%d lMax=%d", n, m, lMax)
 	}
+	ck := condition.NewChecker()
 	var facts []Fact
 	for x := 0; x <= xMax; x++ {
 		for l := 1; l <= lMax; l++ {
-			facts = append(facts, VerifyCell(n, m, x, l))
+			facts = append(facts, verifyCell(ck, n, m, x, l))
 		}
 	}
 	return facts, nil

@@ -2,7 +2,6 @@ package lattice
 
 import (
 	"fmt"
-	"sort"
 
 	"kset/internal/condition"
 	"kset/internal/vector"
@@ -11,16 +10,29 @@ import (
 // densestMass returns the largest total number of entries occupied by any
 // set of at most l distinct values of i: the sum of its l largest value
 // counts. The Theorem 5/7 constructions bound it to rule out recognizers.
+// It is a stack-only computation — the builders call it once per candidate
+// vector of a full {1..m}^n enumeration. (For vectors already compiled
+// into a condition, Compiled.DensestMass reads the precomputed table
+// instead.)
 func densestMass(i vector.Vector, l int) int {
-	counts := make([]int, 0, 8)
-	i.Vals().ForEach(func(v vector.Value) bool {
-		counts = append(counts, i.Count(v))
-		return true
-	})
-	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	var counts [int(vector.MaxSetValue) + 1]int
+	for _, v := range i {
+		counts[v]++
+	}
+	counts[vector.Bottom] = 0 // ⊥ entries are not values
 	mass := 0
-	for k := 0; k < l && k < len(counts); k++ {
-		mass += counts[k]
+	for k := 0; k < l; k++ {
+		best, bi := 0, -1
+		for v := 1; v <= int(vector.MaxSetValue); v++ {
+			if counts[v] > best {
+				best, bi = counts[v], v
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		mass += best
+		counts[bi] = 0
 	}
 	return mass
 }
@@ -29,15 +41,18 @@ func densestMass(i vector.Vector, l int) int {
 // (x+1,ℓ)-legal: the vectors recognized by max_ℓ whose every ℓ-value set
 // occupies at most x+1 entries (so the top-ℓ mass is exactly x+1 — dense
 // enough for x, and no recognizing function can be dense enough for x+1).
-func Theorem5Condition(n, m, x, l int) (*condition.Explicit, error) {
+func Theorem5Condition(n, m, x, l int) (*condition.Compiled, error) {
 	if x+1 > n {
 		return nil, fmt.Errorf("lattice: theorem 5 needs x+1 ≤ n, got x=%d n=%d", x, n)
 	}
-	c := condition.MustNewExplicit(n, m, l)
+	b, err := condition.NewBuilder(n, m, l)
+	if err != nil {
+		return nil, err
+	}
 	var addErr error
 	vector.ForEach(n, m, func(i vector.Vector) bool {
 		if i.MassOf(i.TopL(l)) == x+1 && densestMass(i, l) <= x+1 {
-			if err := c.Add(i.Clone(), i.TopL(l)); err != nil {
+			if err := b.Add(i, i.TopL(l)); err != nil {
 				addErr = err
 				return false
 			}
@@ -47,10 +62,10 @@ func Theorem5Condition(n, m, x, l int) (*condition.Explicit, error) {
 	if addErr != nil {
 		return nil, addErr
 	}
-	if c.Size() == 0 {
+	if b.Size() == 0 {
 		return nil, fmt.Errorf("lattice: theorem 5 condition empty for n=%d m=%d x=%d ℓ=%d", n, m, x, l)
 	}
-	return c, nil
+	return b.Compile(), nil
 }
 
 // Theorem7Condition builds a condition that is (x,ℓ+1)-legal but not
@@ -58,12 +73,15 @@ func Theorem5Condition(n, m, x, l int) (*condition.Explicit, error) {
 // values occupy more than x entries while every set of only ℓ values
 // occupies at most x — so no ℓ-value recognizing function can satisfy the
 // density property. The returned condition carries ℓ+1 as its L.
-func Theorem7Condition(n, m, x, l int) (*condition.Explicit, error) {
-	c := condition.MustNewExplicit(n, m, l+1)
+func Theorem7Condition(n, m, x, l int) (*condition.Compiled, error) {
+	b, err := condition.NewBuilder(n, m, l+1)
+	if err != nil {
+		return nil, err
+	}
 	var addErr error
 	vector.ForEach(n, m, func(i vector.Vector) bool {
 		if i.MassOf(i.TopL(l+1)) > x && densestMass(i, l) <= x {
-			if err := c.Add(i.Clone(), i.TopL(l+1)); err != nil {
+			if err := b.Add(i, i.TopL(l+1)); err != nil {
 				addErr = err
 				return false
 			}
@@ -73,10 +91,10 @@ func Theorem7Condition(n, m, x, l int) (*condition.Explicit, error) {
 	if addErr != nil {
 		return nil, addErr
 	}
-	if c.Size() == 0 {
+	if b.Size() == 0 {
 		return nil, fmt.Errorf("lattice: theorem 7 condition empty for n=%d m=%d x=%d ℓ=%d", n, m, x, l)
 	}
-	return c, nil
+	return b.Compile(), nil
 }
 
 // BoostL implements the constructive step of Theorem 6: given a condition
@@ -85,56 +103,57 @@ func Theorem7Condition(n, m, x, l int) (*condition.Explicit, error) {
 // h_ℓ(I) already covers val(I), and h_ℓ(I) plus one deterministic extra
 // value of I otherwise (we take the greatest value outside h_ℓ(I)). If the
 // input is (x,ℓ)-legal the output is (x,ℓ+1)-legal.
-func BoostL(c *condition.Explicit) (*condition.Explicit, error) {
-	out := condition.MustNewExplicit(c.N(), c.M(), c.L()+1)
-	for _, i := range c.Members() {
-		h := c.Recognize(i)
+func BoostL(c *condition.Compiled) (*condition.Compiled, error) {
+	out, err := condition.NewBuilder(c.N(), c.M(), c.L()+1)
+	if err != nil {
+		return nil, err
+	}
+	for k, size := 0, c.Size(); k < size; k++ {
+		i := c.MemberAt(k)
+		h := c.RecognizedAt(k)
 		g := h
-		if rest := i.Vals().Minus(h); !rest.Empty() {
+		if rest := c.ValsAt(k).Minus(h); !rest.Empty() {
 			g = h.Add(rest.Max())
 		}
 		if err := out.Add(i, g); err != nil {
 			return nil, fmt.Errorf("lattice: boost: %w", err)
 		}
 	}
-	return out, nil
+	return out.Compile(), nil
 }
 
 // AllVectorsCondition returns the condition C_all containing every input
 // vector of {1..m}^n, recognized by max_ℓ. By Theorems 8 and 9 it is
-// (x,ℓ)-legal iff ℓ > x.
-func AllVectorsCondition(n, m, l int) *condition.Explicit {
-	c := condition.MustNewExplicit(n, m, l)
-	vector.ForEach(n, m, func(i vector.Vector) bool {
-		c.MustAdd(i.Clone(), i.TopL(l))
-		return true
-	})
-	return c
+// (x,ℓ)-legal iff ℓ > x. (Every full vector has top-ℓ mass above 0, so
+// C_all is the x = 0 compiled max condition.)
+func AllVectorsCondition(n, m, l int) *condition.Compiled {
+	return condition.MustCompileMax(n, m, 0, l)
 }
 
 // Table1Condition returns the paper's Table 1: the four-vector condition
 // over n = 4 processes and values a,b,c,d (encoded 1,2,3,4) with the
 // recognizing function h_1 of the table. It is (1,1)-legal, and Theorem 14
 // proves it is not (2,2)-legal.
-func Table1Condition() *condition.Explicit {
+func Table1Condition() *condition.Compiled {
 	const a, b, c, d = 1, 2, 3, 4
-	cond := condition.MustNewExplicit(4, 4, 1)
+	cond := condition.MustNewBuilder(4, 4, 1)
 	cond.MustAdd(vector.OfInts(a, a, c, d), vector.SetOf(a))
 	cond.MustAdd(vector.OfInts(b, b, c, d), vector.SetOf(b))
 	cond.MustAdd(vector.OfInts(a, b, c, c), vector.SetOf(c))
 	cond.MustAdd(vector.OfInts(a, b, d, d), vector.SetOf(d))
-	return cond
+	return cond.Compile()
 }
 
 // WithL returns the same vector set as c re-labelled with parameter l and
 // recognized by max_l; it is the form handed to the legality decider when
 // asking whether any recognizing function for a different ℓ exists.
-func WithL(c *condition.Explicit, l int) *condition.Explicit {
-	out := condition.MustNewExplicit(c.N(), c.M(), l)
-	for _, i := range c.Members() {
+func WithL(c *condition.Compiled, l int) *condition.Compiled {
+	out := condition.MustNewBuilder(c.N(), c.M(), l)
+	for k, size := 0, c.Size(); k < size; k++ {
+		i := c.MemberAt(k)
 		out.MustAdd(i, i.TopL(l))
 	}
-	return out
+	return out.Compile()
 }
 
 // Theorem15Condition builds the Appendix-B construction: ℓ+1 vectors over
@@ -154,7 +173,7 @@ func WithL(c *condition.Explicit, l int) *condition.Explicit {
 // The "not (x,ℓ)" half is notable: for ℓ ≥ 2 every pair of its vectors can
 // satisfy the (x,ℓ)-distance property, and only the full (ℓ+1)-vector
 // subset witnesses the failure — exercising d_G beyond pairs.
-func Theorem15Condition(n, x, l int) (*condition.Explicit, error) {
+func Theorem15Condition(n, x, l int) (*condition.Compiled, error) {
 	if l >= x {
 		return nil, fmt.Errorf("lattice: theorem 15 needs ℓ < x, got ℓ=%d x=%d", l, x)
 	}
@@ -165,7 +184,7 @@ func Theorem15Condition(n, x, l int) (*condition.Explicit, error) {
 	if tail < l+1 {
 		return nil, fmt.Errorf("lattice: theorem 15 internal: tail %d < ℓ+1", tail)
 	}
-	c := condition.MustNewExplicit(n, tail, l+1)
+	c := condition.MustNewBuilder(n, tail, l+1)
 	uniform := vector.SetOf()
 	for v := 1; v <= l+1; v++ {
 		uniform = uniform.Add(vector.Value(v))
@@ -182,5 +201,5 @@ func Theorem15Condition(n, x, l int) (*condition.Explicit, error) {
 			return nil, fmt.Errorf("lattice: theorem 15: %w", err)
 		}
 	}
-	return c, nil
+	return c.Compile(), nil
 }

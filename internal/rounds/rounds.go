@@ -367,13 +367,16 @@ func (e *Engine) RunInto(res *Result, procs []Process, fp FailurePattern, opts O
 					continue
 				}
 				wg.Add(1)
-				go func(id int) {
+				// r is passed as an argument: a capture would make the
+				// per-iteration loop variable escape to the heap on every
+				// round, including rounds taking the in-line fast path.
+				go func(id, r int) {
 					defer wg.Done()
 					v, done := procs[id-1].Step(r, e.recv[(id-1)*n:id*n])
 					mu.Lock()
 					outcomes = append(outcomes, outcome{ProcessID(id), v, done})
 					mu.Unlock()
-				}(id)
+				}(id, r)
 			}
 			wg.Wait()
 		} else {

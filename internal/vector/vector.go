@@ -187,11 +187,24 @@ func GeneralizedDistance(vs ...Vector) int {
 // the positions where at least two vectors differ. Its non-⊥ entry count is
 // n − d_G(vs...).
 func Intersect(vs ...Vector) Vector {
+	return IntersectInto(nil, vs...)
+}
+
+// IntersectInto is Intersect writing into dst, which is grown when too
+// small and returned resliced to the vector size. Sweeps that evaluate
+// many distance instances (the legality checker above all) reuse one
+// scratch vector and intersect with no allocation.
+func IntersectInto(dst Vector, vs ...Vector) Vector {
 	if len(vs) == 0 {
 		panic("vector: intersection of empty set")
 	}
 	n := len(vs[0])
-	out := make(Vector, n)
+	var out Vector
+	if cap(dst) >= n {
+		out = dst[:n]
+	} else {
+		out = make(Vector, n)
+	}
 	for k := 0; k < n; k++ {
 		common := vs[0][k]
 		for _, v := range vs[1:] {

@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Benchmark-regression smoke gate: run the budgeted benchmarks briefly and
+# fail when any allocs/op exceeds its checked-in budget. Allocation counts
+# are deterministic enough for CI (unlike ns/op, which this gate ignores),
+# so a regression in the hot analysis paths — the §3 lattice sweep, the
+# §6.2 exhaustive adversary sweep, the campaign run loop — fails the build
+# instead of landing silently.
+#
+# Usage: scripts/benchgate.sh [benchtime]
+set -eu
+
+benchtime="${1:-20x}"
+
+cd "$(dirname "$0")/.."
+
+# Budgets: benchmark name (exact, GOMAXPROCS suffix stripped) and the
+# maximum allowed allocs/op at the short benchtime above. Values carry
+# headroom over the measured steady state (864 / 9 / ~2 at PR 4) while
+# sitting far below the pre-compiled-condition costs (47906 / 5129 / 50).
+budgets='
+BenchmarkE1Lattice 2400
+BenchmarkE9Adversary 400
+BenchmarkCampaignThroughput/campaign 4
+'
+
+raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign' \
+	-benchmem -benchtime "$benchtime" -count 1 .)"
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v budgets="$budgets" '
+BEGIN {
+    n = split(budgets, lines, "\n")
+    for (i = 1; i <= n; i++) {
+        if (split(lines[i], f, " ") == 2) budget[f[1]] = f[2] + 0
+    }
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") allocs = $(i - 1) + 0
+    if (name in budget) {
+        seen[name] = 1
+        if (allocs > budget[name]) {
+            printf "GATE FAIL: %s at %d allocs/op exceeds budget %d\n", name, allocs, budget[name]
+            bad = 1
+        } else {
+            printf "gate ok:   %s at %d allocs/op (budget %d)\n", name, allocs, budget[name]
+        }
+    }
+}
+END {
+    for (name in budget) if (!(name in seen)) {
+        printf "GATE FAIL: budgeted benchmark %s did not run\n", name
+        bad = 1
+    }
+    exit bad
+}
+'

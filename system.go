@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kset/internal/async"
+	"kset/internal/condition"
 	"kset/internal/core"
 	"kset/internal/rounds"
 )
@@ -52,6 +53,13 @@ func New(opts ...Option) (*System, error) {
 	}
 	if s.workers < 1 {
 		s.workers = 1
+	}
+	// Explicit conditions are compiled at construction: every downstream
+	// membership probe — view decoding in the first round, campaign
+	// verification, ConditionMembers streaming — then rides the immutable
+	// O(1) index instead of the mutable map-backed representation.
+	if e, ok := s.cond.(*condition.Explicit); ok {
+		s.cond = condition.Compile(e)
 	}
 	if err := s.exec.check(s); err != nil {
 		return nil, err
