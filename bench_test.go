@@ -295,6 +295,49 @@ func BenchmarkSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkCollectorPath times the full results-plane pipeline per
+// iteration: one fixed 512-scenario stats-only campaign through
+// RunCampaign with an additional CollectInto accumulator, so every run
+// exercises Observation construction, two collector folds (histogram,
+// summaries, per-executor/per-crash breakdowns) and the deterministic
+// shard join. The fixed batch amortizes campaign setup, making allocs/op
+// ≈ 512 × per-run cost: the benchgate budget holds the collector path at
+// ≤ 1 alloc/run (engine steady state) plus fixed campaign overhead.
+func BenchmarkCollectorPath(b *testing.B) {
+	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
+	c, err := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const batch = 512
+	scs := make([]kset.Scenario, batch)
+	for i := range scs {
+		input := make(kset.Vector, p.N)
+		for j := range input {
+			input[j] = kset.Value(1 + rng.Intn(4))
+		}
+		scs[i] = kset.Scenario{Input: input, FP: kset.RandomCrashes(rng, p.N, p.T, p.RMax())}
+	}
+	acc := kset.NewAccumulator()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := sys.RunCampaign(ctx, scs, kset.CollectInto(acc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Runs != batch || stats.Errors != 0 {
+			b.Fatalf("campaign ran %d/%d with %d errors", stats.Runs, batch, stats.Errors)
+		}
+	}
+}
+
 // --- micro-benchmarks of the kernels ---
 
 // BenchmarkDecodeView times the Definition-4 view decoding that dominates

@@ -4,6 +4,9 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"kset/internal/core"
+	"kset/internal/stats"
 )
 
 // CampaignOption configures a campaign before its workers start.
@@ -22,8 +25,14 @@ func CampaignWorkers(n int) CampaignOption {
 // size, exposed by Campaign.Results. Every scenario's Outcome — with a
 // freshly allocated Result — is sent to it; the consumer MUST drain the
 // channel concurrently with submission, or the workers block. Without this
-// option outcomes are folded into the CampaignStats only and each worker
-// recycles one Result, making the per-run cost allocation-free.
+// option outcomes are folded into the campaign's collectors only and each
+// worker recycles one Result, making the per-run cost allocation-free.
+//
+// Ownership: a Result that crosses the channel belongs to the receiver.
+// The campaign allocates it fresh for the run and never recycles it into
+// a worker or pool afterwards, so consumers may retain, mutate and
+// compare Outcome.Result values for as long as they like — including
+// after the campaign has completed.
 func CollectResults(buffer int) CampaignOption {
 	return func(c *Campaign) { c.results = make(chan Outcome, max(buffer, 0)) }
 }
@@ -39,8 +48,14 @@ func VerifyRuns() CampaignOption {
 type Outcome struct {
 	// Scenario is the submitted scenario, as given.
 	Scenario Scenario
-	// Result is the execution result (nil when Err is set).
+	// Result is the execution result (nil when Err is set). It is
+	// allocated fresh for this outcome and owned by the receiver: the
+	// campaign never recycles it, so it remains valid after the campaign
+	// completes.
 	Result *Result
+	// Observation is the run's flat results-plane record — the same
+	// record the campaign's collectors received.
+	Observation Observation
 	// Verdict is the specification verdict, when VerifyRuns is on and the
 	// scenario ran a synchronous executor.
 	Verdict *Verdict
@@ -49,54 +64,51 @@ type Outcome struct {
 	Err error
 }
 
-// CampaignStats aggregates a campaign. All fields are plain sums and
-// counts, so for a fixed multiset of scenarios the stats are identical
-// regardless of worker count or scheduling — seeded sweeps are
-// reproducible run to run.
+// CampaignStats aggregates a campaign: the flat counters the original
+// batch API exposed, rendered from the results-plane accumulator the
+// campaign's workers actually fed. Everything the accumulator folds is a
+// sum, a minimum or a maximum, so for a fixed multiset of scenarios the
+// stats are identical regardless of worker count or scheduling — seeded
+// sweeps are reproducible run to run, byte for byte.
 type CampaignStats struct {
 	// Runs is the number of scenarios executed (including failed ones).
-	Runs int64
+	Runs int64 `json:"runs"`
 	// Errors is the number of scenarios whose run returned an error.
-	Errors int64
+	Errors int64 `json:"errors"`
 	// ConditionHits counts runs whose input vector belongs to the
 	// system's condition.
-	ConditionHits int64
+	ConditionHits int64 `json:"condition_hits"`
 	// Violations counts verified runs that failed the k-set agreement
 	// specification (only populated under VerifyRuns).
-	Violations int64
+	Violations int64 `json:"violations"`
 	// MessagesDelivered sums delivered messages across all runs.
-	MessagesDelivered int64
+	MessagesDelivered int64 `json:"messages_delivered"`
 	// DecisionRounds is the histogram of latest decision rounds:
 	// DecisionRounds[r] = runs whose last decision came at round r.
 	// Index 0 counts runs that decided in no round at all — asynchronous
-	// runs (which have no rounds) and runs where nobody decided.
-	DecisionRounds []int64
+	// runs (which have no rounds) and runs where nobody decided. Rounds
+	// past the accumulator's tracked range (≥ stats.HistogramBuckets, far
+	// beyond any realistic ⌊t/k⌋+1) are not positionally representable
+	// here; they are summarized exactly in Metrics.Rounds.Overflow, and
+	// the accessors below account for them.
+	DecisionRounds []int64 `json:"decision_rounds,omitempty"`
+	// Metrics is the full results-plane accumulator behind the flat
+	// fields: the bounded histogram, min/mean/max summaries of messages
+	// and crashes, and the per-executor / per-crash-count / per-label
+	// breakdowns, all JSON-marshalable and deterministically mergeable.
+	Metrics *Accumulator `json:"metrics,omitempty"`
 }
 
-// observe folds one successful run into the stats.
-func (s *CampaignStats) observe(round int, messages int64, inCondition bool) {
-	for len(s.DecisionRounds) <= round {
-		s.DecisionRounds = append(s.DecisionRounds, 0)
-	}
-	s.DecisionRounds[round]++
-	s.MessagesDelivered += messages
-	if inCondition {
-		s.ConditionHits++
-	}
-}
-
-// merge folds o into s.
-func (s *CampaignStats) merge(o *CampaignStats) {
-	s.Runs += o.Runs
-	s.Errors += o.Errors
-	s.ConditionHits += o.ConditionHits
-	s.Violations += o.Violations
-	s.MessagesDelivered += o.MessagesDelivered
-	for len(s.DecisionRounds) < len(o.DecisionRounds) {
-		s.DecisionRounds = append(s.DecisionRounds, 0)
-	}
-	for r, n := range o.DecisionRounds {
-		s.DecisionRounds[r] += n
+// newCampaignStats renders the merged accumulator as the flat stats view.
+func newCampaignStats(acc *Accumulator) *CampaignStats {
+	return &CampaignStats{
+		Runs:              acc.Runs,
+		Errors:            acc.Errors,
+		ConditionHits:     acc.ConditionHits,
+		Violations:        acc.Violations,
+		MessagesDelivered: acc.MessagesDelivered(),
+		DecisionRounds:    acc.DecisionRounds(),
+		Metrics:           acc,
 	}
 }
 
@@ -108,10 +120,13 @@ func (s *CampaignStats) HitRate() float64 {
 	return float64(s.ConditionHits) / float64(s.Runs)
 }
 
-// MaxDecisionRound returns the latest decision round any run reached
-// (the highest non-empty histogram index ≥ 1), or 0 when no run decided
-// in a round.
+// MaxDecisionRound returns the latest decision round any run reached, or
+// 0 when no run decided in a round. It reads the full accumulator, so
+// rounds in the histogram's overflow summary are never dropped.
 func (s *CampaignStats) MaxDecisionRound() int {
+	if s.Metrics != nil {
+		return s.Metrics.MaxDecisionRound()
+	}
 	for r := len(s.DecisionRounds) - 1; r >= 1; r-- {
 		if s.DecisionRounds[r] > 0 {
 			return r
@@ -121,8 +136,12 @@ func (s *CampaignStats) MaxDecisionRound() int {
 }
 
 // MeanDecisionRound returns the mean latest decision round over the runs
-// that decided in some round (histogram indices ≥ 1).
+// that decided in some round. Like MaxDecisionRound it reads the full
+// accumulator, overflow included.
 func (s *CampaignStats) MeanDecisionRound() float64 {
+	if s.Metrics != nil {
+		return s.Metrics.MeanDecisionRound()
+	}
 	var runs, sum int64
 	for r := 1; r < len(s.DecisionRounds); r++ {
 		runs += s.DecisionRounds[r]
@@ -160,8 +179,15 @@ type Campaign struct {
 	slice   []Scenario   // fixed-slice mode (RunCampaign): no queue at all
 	next    atomic.Int64 // next slice index to steal
 	results chan Outcome
-	shards  []CampaignStats
-	wg      sync.WaitGroup
+
+	// The collector pipeline: acc backs Wait's CampaignStats, extra holds
+	// CollectInto additions; every worker observes into its own forked
+	// shard row, joined back in worker order by Wait.
+	acc        *stats.Accumulator
+	extra      []Collector
+	collectors []Collector   // acc + extra
+	shards     [][]Collector // [worker][collector]
+	wg         sync.WaitGroup
 
 	mu     sync.RWMutex
 	closed bool
@@ -232,7 +258,17 @@ func (s *System) newCampaign(ctx context.Context, opts []CampaignOption) *Campai
 	for _, opt := range opts {
 		opt(c)
 	}
-	c.shards = make([]CampaignStats, c.nworkers)
+	c.acc = stats.NewAccumulator()
+	c.collectors = append(make([]Collector, 0, 1+len(c.extra)), c.acc)
+	c.collectors = append(c.collectors, c.extra...)
+	c.shards = make([][]Collector, c.nworkers)
+	for i := range c.shards {
+		row := make([]Collector, len(c.collectors))
+		for j, col := range c.collectors {
+			row[j] = col.Fork()
+		}
+		c.shards[i] = row
+	}
 	return c
 }
 
@@ -323,18 +359,22 @@ func (c *Campaign) stealNext() (int, bool) {
 // and every worker has exited, so ranging over it terminates.
 func (c *Campaign) Results() <-chan Outcome { return c.results }
 
-// Wait closes the campaign, waits for the workers to drain the queue, and
-// returns the merged stats. After cancellation it returns the context's
-// error together with the stats of the scenarios that completed.
+// Wait closes the campaign, waits for the workers to drain the queue,
+// joins every worker's collector shards back into their collectors — in
+// worker order, so any order-sensitive custom collector sees a fixed
+// merge sequence — and returns the merged stats. After cancellation it
+// returns the context's error together with the stats of the scenarios
+// that completed.
 func (c *Campaign) Wait() (*CampaignStats, error) {
 	c.waitOnce.Do(func() {
 		c.Close()
 		c.wg.Wait()
-		stats := &CampaignStats{}
-		for i := range c.shards {
-			stats.merge(&c.shards[i])
+		for j, col := range c.collectors {
+			for i := range c.shards {
+				col.Join(c.shards[i][j])
+			}
 		}
-		c.stats = stats
+		c.stats = newCampaignStats(c.acc)
 		c.waitErr = c.ctx.Err()
 	})
 	return c.stats, c.waitErr
@@ -342,13 +382,13 @@ func (c *Campaign) Wait() (*CampaignStats, error) {
 
 // worker is one campaign worker: it checks engine/protocol buffers out of
 // the shared pool once and runs scenarios until the queue closes or the
-// context is cancelled, folding outcomes into its own stats shard (merged,
-// deterministically, by Wait).
+// context is cancelled, folding each run's Observation into its own
+// collector shards (joined, deterministically, by Wait).
 func (c *Campaign) worker(i int) {
 	defer c.wg.Done()
 	w := getWorker()
 	defer putWorker(w)
-	shard := &c.shards[i]
+	shard := c.shards[i]
 	if c.slice != nil {
 		for {
 			idx, ok := c.stealNext()
@@ -371,9 +411,11 @@ func (c *Campaign) worker(i int) {
 	}
 }
 
-// runOne executes one scenario on worker w. Without a results channel the
-// worker recycles a single Result, so the run allocates nothing.
-func (c *Campaign) runOne(w *worker, shard *CampaignStats, sc Scenario) {
+// runOne executes one scenario on worker w and folds its Observation into
+// the worker's collector shards. Without a results channel the worker
+// recycles a single Result, so the run — observation included — allocates
+// nothing.
+func (c *Campaign) runOne(w *worker, shard []Collector, sc Scenario) {
 	ex, err := c.sys.resolveExecutor(&sc)
 	var res *Result
 	if err == nil {
@@ -386,24 +428,31 @@ func (c *Campaign) runOne(w *worker, shard *CampaignStats, sc Scenario) {
 		}
 		res, err = ex.run(c.ctx, c.sys, w, &sc, reuse)
 	}
-	shard.Runs++
 	out := Outcome{Scenario: sc}
+	var o Observation
 	if err != nil {
-		shard.Errors++
+		o.Err = true
 		out.Err = err
 	} else {
-		inC := c.sys.cond != nil && c.sys.cond.Contains(sc.Input)
-		shard.observe(res.MaxDecisionRound(), res.MessagesDelivered, inC)
+		o = core.Observe(res)
+		o.InCondition = c.sys.cond != nil && c.sys.cond.Contains(sc.Input)
 		if c.verify && ex.synchronous() {
 			v := Verify(sc.Input, sc.FP, res, c.sys.p.K)
-			if !v.OK() {
-				shard.Violations++
-			}
+			o.Verified = true
+			o.Violation = !v.OK()
 			out.Verdict = &v
 		}
 		out.Result = res
 	}
+	if ex != nil {
+		o.Executor = ex.Name()
+	}
+	o.Label = sc.Label
+	for _, col := range shard {
+		col.Observe(o)
+	}
 	if c.results != nil {
+		out.Observation = o
 		select {
 		case c.results <- out:
 		case <-c.ctx.Done():

@@ -1,44 +1,49 @@
-// Command experiments regenerates every evaluation artifact of the paper
-// (E1–E10 of DESIGN.md) and prints the verification reports recorded in
-// EXPERIMENTS.md.
+// Command experiments drives the declarative experiment registry: every
+// evaluation artifact of the paper (E1–E10) is a registered spec executed
+// on the Campaign/Sweep/Exhaust infrastructure, producing a structured
+// report rendered as text or JSON. JSON reports are byte-deterministic
+// for a fixed registry, so CI diffs them structurally (see the golden
+// test next to this file).
 //
 // With -campaign it instead drives the high-throughput entry point — one
 // kset.System fed by a generated scenario stream — across seeded random
 // inputs × a seeded failure-pattern family × all three synchronous
-// executors, and prints the aggregate CampaignStats (decision-round
-// histogram, condition-hit rate, violation count). The stream is built
-// declaratively from the generator subsystem (RandomInputs crossed with
-// RandomCrashFamily and the executors) and fed to System.RunSource, so
-// nothing is materialized: this is the load-harness face of the library,
-// the same sweep a production soak test would run, with every execution
-// verified against the k-set agreement specification.
+// executors, and reports the campaign's results-plane accumulator
+// (decision-round histogram, per-executor breakdown, condition-hit rate,
+// violation count) in the same report encoding.
 //
 // Usage:
 //
-//	experiments [-only E4]
-//	experiments -campaign [-runs 30000] [-seed 1] [-workers 8]
+//	experiments [-json] [-only E4[,E5,...]]
+//	experiments -list [-json]
+//	experiments -campaign [-json] [-runs 30000] [-seed 1] [-workers 8]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"kset"
 	"kset/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	only := fs.String("only", "", "run a single experiment (E1..E10)")
+	only := fs.String("only", "", "run a comma-separated subset (E1..E10)")
+	list := fs.Bool("list", false, "list the registered experiments instead of running them")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	campaign := fs.Bool("campaign", false, "run the campaign load sweep instead of E1..E10")
 	runs := fs.Int("runs", 30000, "campaign: number of scenarios")
 	seed := fs.Int64("seed", 1, "campaign: random seed (same seed ⇒ same stats)")
@@ -46,17 +51,35 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *campaign {
-		return runCampaign(*runs, *seed, *workers)
+	switch {
+	case *list:
+		return runList(stdout, *asJSON)
+	case *campaign:
+		return runCampaign(stdout, *asJSON, *runs, *seed, *workers)
 	}
 
-	failed := 0
-	for _, r := range experiments.All() {
-		if *only != "" && r.ID != *only {
-			continue
+	var ids []string
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			ids = append(ids, strings.TrimSpace(id))
 		}
-		fmt.Println(r)
-		fmt.Println()
+	}
+	reports, err := experiments.Run(ids)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		if err := experiments.WriteJSON(stdout, reports); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range reports {
+			fmt.Fprintln(stdout, r)
+			fmt.Fprintln(stdout)
+		}
+	}
+	failed := 0
+	for _, r := range reports {
 		if !r.OK {
 			failed++
 		}
@@ -67,13 +90,33 @@ func run(args []string) error {
 	return nil
 }
 
+// runList prints the experiment registry: IDs, paper anchors, titles and
+// default parameters.
+func runList(stdout io.Writer, asJSON bool) error {
+	specs := experiments.Registry()
+	if asJSON {
+		return experiments.WriteJSON(stdout, specs)
+	}
+	for _, s := range specs {
+		fmt.Fprintf(stdout, "%-4s %-22s %s\n", s.ID, s.Paper, s.Title)
+		if len(s.Defaults) > 0 {
+			raw, err := json.Marshal(s.Defaults)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "     defaults: %s\n", raw)
+		}
+	}
+	return nil
+}
+
 // runCampaign streams a generated scenario sweep — seeded random inputs ×
 // a seeded failure-pattern family × the three synchronous executors —
-// through one verified campaign and prints the stats. The structured
-// cross product replaces the old hand-rolled scenario loop: the requested
-// run budget is factored into inputs × patterns × executors, so the sweep
-// covers every combination rather than one random pairing per run.
-func runCampaign(runs int, seed int64, workers int) error {
+// through one verified campaign and reports the results-plane
+// accumulator. The structured cross product factors the requested run
+// budget into inputs × patterns × executors, so the sweep covers every
+// combination rather than one random pairing per run.
+func runCampaign(stdout io.Writer, asJSON bool, runs int, seed int64, workers int) error {
 	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
 	const m = 4
 	cond, err := kset.NewMaxCondition(p.N, m, p.X(), p.L)
@@ -106,20 +149,67 @@ func runCampaign(runs int, seed int64, workers int) error {
 	}
 
 	total, _ := src.Size()
-	fmt.Printf("campaign: n=%d t=%d k=%d d=%d ℓ=%d m=%d, %d inputs × %d patterns × %d executors = %d scenarios, seed %d\n\n",
-		p.N, p.T, p.K, p.D, p.L, m, inputs, patterns, len(execs), total, seed)
-	fmt.Printf("%-24s %d\n", "runs", stats.Runs)
-	fmt.Printf("%-24s %d\n", "errors", stats.Errors)
-	fmt.Printf("%-24s %.4f (%d runs)\n", "condition-hit rate", stats.HitRate(), stats.ConditionHits)
-	fmt.Printf("%-24s %d\n", "spec violations", stats.Violations)
-	fmt.Printf("%-24s %d\n", "messages delivered", stats.MessagesDelivered)
-	fmt.Printf("%-24s %.3f\n", "mean decision round", stats.MeanDecisionRound())
-	fmt.Println("\ndecision-round histogram (0 = nobody decided):")
-	for r, c := range stats.DecisionRounds {
-		fmt.Printf("  round %-2d %8d\n", r, c)
+	r := experiments.Report{
+		ID:    "campaign",
+		Title: "generated load sweep: random inputs × crash patterns × executors",
+		Paper: "§6.2",
+		OK:    stats.Violations == 0 && stats.Errors == 0,
+		Params: experiments.Params{
+			"n": p.N, "t": p.T, "k": p.K, "d": p.D, "l": p.L, "m": m,
+			"inputs": inputs, "patterns": patterns, "executors": len(execs),
+			"scenarios": int(total), "seed": int(seed),
+		},
 	}
+	acc := stats.Metrics
+
+	totals := r.Section("totals")
+	tbl := totals.AddTable("metric", "value")
+	tbl.Row("runs", fmt.Sprint(stats.Runs))
+	tbl.Row("errors", fmt.Sprint(stats.Errors))
+	tbl.Row("condition-hit rate", fmt.Sprintf("%.4f (%d runs)", stats.HitRate(), stats.ConditionHits))
+	tbl.Row("spec violations", fmt.Sprint(stats.Violations))
+	tbl.Row("messages delivered", fmt.Sprint(stats.MessagesDelivered))
+	tbl.Row("mean decision round", fmt.Sprintf("%.3f", stats.MeanDecisionRound()))
+	tbl.Row("max decision round", fmt.Sprint(stats.MaxDecisionRound()))
+
+	hist := r.Section("decision-rounds")
+	hist.Note("histogram of latest decision rounds (0 = nobody decided)")
+	htbl := hist.AddTable("round", "runs")
+	for round, count := range stats.DecisionRounds {
+		htbl.Row(fmt.Sprint(round), fmt.Sprint(count))
+	}
+
+	byExec := r.Section("by-executor")
+	etbl := byExec.AddTable("executor", "runs", "mean round", "max round", "messages")
+	for _, name := range acc.ExecutorKeys() {
+		g := acc.ByExecutor[name]
+		etbl.Row(name, fmt.Sprint(g.Runs), fmt.Sprintf("%.3f", g.Rounds.Mean()),
+			fmt.Sprint(g.Rounds.Max), fmt.Sprint(g.Messages))
+	}
+
+	byCrash := r.Section("by-crashes")
+	ctbl := byCrash.AddTable("crashes", "runs", "mean round", "max round")
+	for _, f := range acc.CrashKeys() {
+		g := acc.ByCrashes[f]
+		ctbl.Row(fmt.Sprint(f), fmt.Sprint(g.Runs), fmt.Sprintf("%.3f", g.Rounds.Mean()),
+			fmt.Sprint(g.Rounds.Max))
+	}
+
+	if asJSON {
+		if err := experiments.WriteJSON(stdout, r); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintln(stdout, r)
+	}
+	// The exit code must agree with the report's ok field: violations and
+	// run errors both fail the process, so shell gates and the archived
+	// JSON artifact cannot disagree.
 	if stats.Violations > 0 {
 		return fmt.Errorf("%d specification violation(s)", stats.Violations)
+	}
+	if stats.Errors > 0 {
+		return fmt.Errorf("%d run error(s)", stats.Errors)
 	}
 	return nil
 }

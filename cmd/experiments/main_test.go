@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file from this run")
+
+// deterministicIDs are the experiments whose JSON reports are
+// byte-deterministic run to run: everything synchronous. E10 drives real
+// goroutine concurrency (the asynchronous algorithm), so its decided
+// values may vary with scheduling and it stays out of byte comparisons.
+const deterministicIDs = "E1,E2,E3,E4,E5,E6,E7,E8,E9"
+
+// runJSON executes the command's run() with -json over the deterministic
+// experiment set and returns the bytes it printed.
+func runJSON(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-only", deterministicIDs}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenJSON locks the structured report encoding: the JSON emitted
+// for the deterministic experiments must match the checked-in golden
+// file byte for byte. Regenerate with:
+//
+//	go test ./cmd/experiments -run TestGoldenJSON -update
+func TestGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	got := runJSON(t)
+	golden := filepath.Join("testdata", "experiments.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON reports diverged from %s (%d vs %d bytes);\n"+
+			"if the change is intentional, regenerate with -update", golden, len(got), len(want))
+	}
+}
+
+// TestJSONDeterministic is the experiments-json-run-twice comparison:
+// two in-process runs over the same registry must emit identical bytes —
+// the property that makes reports machine-diffable at all.
+func TestJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite")
+	}
+	first := runJSON(t)
+	second := runJSON(t)
+	if !bytes.Equal(first, second) {
+		t.Error("two runs of experiments -json produced different bytes")
+	}
+}
+
+// TestListAndCampaignSmoke exercises the remaining CLI modes end to end.
+func TestListAndCampaignSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("E10")) {
+		t.Errorf("-list output lacks E10:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-campaign", "-json", "-runs", "300", "-workers", "2"}, &buf); err != nil {
+		t.Fatalf("-campaign: %v", err)
+	}
+	for _, want := range []string{`"id": "campaign"`, `"by-executor"`, `"decision-rounds"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("campaign JSON lacks %s", want)
+		}
+	}
+	if err := run([]string{"-only", "E99"}, &buf); err == nil {
+		t.Error("unknown -only id must error")
+	}
+}

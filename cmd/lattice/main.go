@@ -1,33 +1,39 @@
 // Command lattice verifies and draws the paper's Figure 1 — the inclusion
 // lattice of the sets of (x,ℓ)-legal conditions — over a chosen small
-// vector domain.
+// vector domain. With -json it emits the verification facts in the
+// structured report encoding every CLI artifact shares (see
+// internal/experiments.Report).
 //
 // Usage:
 //
-//	lattice [-n 4] [-m 3] [-xmax 2] [-lmax 3]
+//	lattice [-n 4] [-m 3] [-xmax 2] [-lmax 3] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"kset/internal/experiments"
 	"kset/internal/lattice"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lattice:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("lattice", flag.ContinueOnError)
 	n := fs.Int("n", 4, "vector size (number of processes)")
 	m := fs.Int("m", 3, "number of proposable values")
 	xMax := fs.Int("xmax", 2, "largest x to verify (< n)")
 	lMax := fs.Int("lmax", 3, "largest ℓ to verify")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,17 +42,36 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(lattice.Render(facts))
+	r := experiments.Report{
+		ID:     "lattice",
+		Title:  "Figure 1 — the lattice of (x,ℓ)-legal condition sets",
+		Paper:  "§3, Theorems 4–9",
+		Params: experiments.Params{"n": *n, "m": *m, "xmax": *xMax, "lmax": *lMax},
+		OK:     true,
+	}
+	r.Section("diagram").NoteBlock(lattice.Render(facts))
+	cells := r.Section("cells")
+	tbl := cells.AddTable("cell", "verified", "skipped")
 	bad := 0
 	for _, f := range facts {
 		if !f.Verified() {
 			bad++
-			fmt.Printf("cell (x=%d,ℓ=%d) FAILED: %+v\n", f.X, f.L, f)
+			r.OK = false
 		}
+		tbl.Row(fmt.Sprintf("(%d,%d)", f.X, f.L), fmt.Sprintf("%v", f.Verified()),
+			strings.Join(f.Skipped, "; "))
+	}
+	cells.Note("%d/%d cells verified (Theorems 4–9)", len(facts)-bad, len(facts))
+
+	if *asJSON {
+		if err := experiments.WriteJSON(stdout, r); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(stdout, r)
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d cell(s) failed verification", bad)
 	}
-	fmt.Printf("all %d cells verified (Theorems 4–9)\n", len(facts))
 	return nil
 }

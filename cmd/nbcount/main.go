@@ -1,46 +1,59 @@
 // Command nbcount prints the condition-size tables NB(x,ℓ) of Theorems 3
 // and 13: how many input vectors the max_ℓ-generated (x,ℓ)-legal condition
-// admits, and which fraction of all m^n vectors that is.
+// admits, and which fraction of all m^n vectors that is. With -json it
+// emits the same table in the structured report encoding every CLI
+// artifact shares (see internal/experiments.Report), so consumers can
+// diff runs structurally.
 //
 // Usage:
 //
-//	nbcount [-n 10] [-m 5] [-lmax 3] [-check]
+//	nbcount [-n 10] [-m 5] [-lmax 3] [-check] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"kset"
 	"kset/internal/count"
+	"kset/internal/experiments"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nbcount:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("nbcount", flag.ContinueOnError)
 	n := fs.Int("n", 10, "vector size (number of processes)")
 	m := fs.Int("m", 5, "number of proposable values")
 	lMax := fs.Int("lmax", 3, "largest ℓ to tabulate")
 	check := fs.Bool("check", false, "cross-check against brute force (slow; small n,m only)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	fmt.Printf("NB(x,ℓ) over {1..%d}^%d — size of the max_ℓ-generated (x,ℓ)-legal condition\n\n", *m, *n)
-	fmt.Printf("%-5s", "x")
-	for l := 1; l <= *lMax; l++ {
-		fmt.Printf(" %24s", fmt.Sprintf("ℓ=%d (fraction)", l))
+	r := experiments.Report{
+		ID:     "nbcount",
+		Title:  fmt.Sprintf("NB(x,ℓ) over {1..%d}^%d — size of the max_ℓ-generated (x,ℓ)-legal condition", *m, *n),
+		Paper:  "§5, §7, Theorems 3/13",
+		Params: experiments.Params{"n": *n, "m": *m, "lmax": *lMax},
+		OK:     true,
 	}
-	fmt.Println()
+	sizes := r.Section("sizes")
+	cols := []string{"x"}
+	for l := 1; l <= *lMax; l++ {
+		cols = append(cols, fmt.Sprintf("NB(ℓ=%d)", l), fmt.Sprintf("frac(ℓ=%d)", l))
+	}
+	tbl := sizes.AddTable(cols...)
 	for x := 0; x < *n; x++ {
-		fmt.Printf("%-5d", x)
+		row := []string{fmt.Sprint(x)}
 		for l := 1; l <= *lMax; l++ {
 			nb, err := kset.ConditionSize(*n, *m, x, l)
 			if err != nil {
@@ -50,17 +63,22 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf(" %16s (%5.3f)", nb.String(), f)
 			if *check {
 				if bf := count.BruteForce(*n, *m, x, l); nb.Int64() != bf {
 					return fmt.Errorf("mismatch at x=%d ℓ=%d: formula %s, brute force %d", x, l, nb, bf)
 				}
 			}
+			row = append(row, nb.String(), fmt.Sprintf("%.3f", f))
 		}
-		fmt.Println()
+		tbl.Row(row...)
 	}
 	if *check {
-		fmt.Println("\nbrute-force cross-check passed for every cell")
+		sizes.Note("brute-force cross-check passed for every cell")
 	}
+
+	if *asJSON {
+		return experiments.WriteJSON(stdout, r)
+	}
+	fmt.Fprint(stdout, r)
 	return nil
 }

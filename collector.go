@@ -1,0 +1,58 @@
+package kset
+
+import "kset/internal/stats"
+
+// Results-plane types. Every layer of the stack reports runs through one
+// pipeline: executions emit an Observation per run, Collectors fold
+// observations into mergeable aggregates, and consumers (CampaignStats,
+// experiment reports, the CLI's -json output) read the folded form.
+type (
+	// Observation is one run's flat metric record: decision round,
+	// messages delivered, crashes, condition membership, verdict. The
+	// campaign feeds one per scenario to every installed Collector.
+	Observation = stats.Observation
+	// Collector receives one Observation per run. Campaign workers fold
+	// observations into worker-local shards (Fork) and the shards are
+	// joined back deterministically on Wait, so a Collector
+	// implementation never needs to be concurrency-safe — it only needs
+	// Fork/Join. Deterministic collectors (all of whose aggregates are
+	// order-insensitive, like Accumulator's sums, minima and maxima)
+	// yield worker-count-invariant results.
+	Collector = stats.Collector
+	// Accumulator is the canonical Collector: bounded decision-round
+	// histogram (with an exact overflow summary), run/error/violation
+	// counters, min/mean/max summaries of messages and crashes, and
+	// per-executor / per-crash-count / per-label breakdowns. It is
+	// JSON-marshalable with deterministic byte output for a fixed
+	// multiset of observations.
+	Accumulator = stats.Accumulator
+	// Histogram is the Accumulator's bounded decision-round histogram
+	// with its exact overflow summary.
+	Histogram = stats.Histogram
+	// Summary is an exact min/mean/max fold of an integer quantity
+	// (messages, crashes, rounds within a breakdown group).
+	Summary = stats.Summary
+	// Group is one breakdown bucket of an Accumulator (the value type of
+	// ByExecutor, ByCrashes and ByLabel).
+	Group = stats.Group
+)
+
+// NewAccumulator returns an empty results-plane accumulator, ready to be
+// installed on a campaign with CollectInto or fed by hand.
+func NewAccumulator() *Accumulator { return stats.NewAccumulator() }
+
+// CollectInto installs an additional collector on the campaign: every
+// run's Observation is folded into a worker-local shard of c (via
+// c.Fork) and the shards are joined back into c, in worker order, when
+// the campaign completes. The campaign's own statistics are unaffected —
+// Wait still returns its CampaignStats; CollectInto is how callers
+// attach richer or custom aggregation to the same stream.
+//
+// When the same option value is reused across sequential campaigns — one
+// RunSweep, say, whose campaign options apply to every grid point — c
+// accumulates across all of them, which makes it the grid-total
+// collector; per-point aggregates are keyed by the sweep itself (each
+// SweepResult carries its point's own Metrics).
+func CollectInto(c Collector) CampaignOption {
+	return func(camp *Campaign) { camp.extra = append(camp.extra, c) }
+}

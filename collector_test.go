@@ -1,0 +1,226 @@
+package kset_test
+
+import (
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+
+	"kset"
+)
+
+// TestCollectResultsOwnership pins the Result ownership contract of
+// CollectResults: every Outcome carries a distinct, freshly allocated
+// Result that the receiver owns outright — running more campaigns on the
+// same system afterwards (which recycles pooled worker state) must not
+// mutate the retained results.
+func TestCollectResultsOwnership(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)), kset.WithWorkers(2))
+	ctx := context.Background()
+
+	const runs = 64
+	scs := make([]kset.Scenario, runs)
+	for i := range scs {
+		scs[i] = kset.Scenario{Input: kset.VectorOf(4, 4, 4, 2, 1, 2), FP: kset.InitialCrashes(p.N, i%2)}
+	}
+	camp := sys.NewCampaign(ctx, kset.CollectResults(runs))
+	if err := camp.SubmitAll(scs); err != nil {
+		t.Fatal(err)
+	}
+	camp.Close()
+
+	type snapshot struct {
+		res      *kset.Result
+		decided  int
+		crashed  int
+		round    int
+		messages int64
+	}
+	var kept []snapshot
+	seen := make(map[*kset.Result]bool)
+	for out := range camp.Results() {
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+		if seen[out.Result] {
+			t.Fatal("two outcomes share one Result: recycled pool memory crossed the channel")
+		}
+		seen[out.Result] = true
+		kept = append(kept, snapshot{
+			res:     out.Result,
+			decided: len(out.Result.Decisions), crashed: len(out.Result.Crashed),
+			round: out.Result.MaxDecisionRound(), messages: out.Result.MessagesDelivered,
+		})
+	}
+	if _, err := camp.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != runs {
+		t.Fatalf("kept %d results, want %d", len(kept), runs)
+	}
+
+	// Churn the worker pool: a stats-only campaign recycles its own
+	// Results; the retained ones must be untouched.
+	if _, err := sys.RunCampaign(ctx, scs); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range kept {
+		if len(s.res.Decisions) != s.decided || len(s.res.Crashed) != s.crashed ||
+			s.res.MaxDecisionRound() != s.round || s.res.MessagesDelivered != s.messages {
+			t.Fatalf("retained result %d mutated after later campaigns: %+v vs %+v", i, s, s.res)
+		}
+	}
+}
+
+// invarianceSource builds the worker-invariance workload: a generated
+// scenario stream (seeded random inputs × a seeded crash family × two
+// executors) identical across calls.
+func invarianceSource(p kset.Params, seed int64) kset.ScenarioSource {
+	return kset.CrossExecutors(
+		kset.FailureSchedules(
+			kset.RandomInputs(seed, p.N, 4, 150),
+			kset.RandomCrashFamily(seed+1, p.N, p.T, p.RMax(), 5),
+		),
+		kset.Figure2, kset.EarlyDeciding,
+	)
+}
+
+// TestCampaignWorkerCountInvariance is the results-plane determinism
+// gate: the same seed and source must produce a byte-identical JSON
+// report — flat stats, histogram, summaries and every breakdown — for
+// workers ∈ {1, 4, 16}.
+func TestCampaignWorkerCountInvariance(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	const seed = 23
+
+	report := func(workers int) []byte {
+		sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond), kset.WithWorkers(workers))
+		stats, err := sys.RunSource(context.Background(), invarianceSource(p, seed), kset.VerifyRuns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Runs != 150*5*2 || stats.Errors != 0 || stats.Violations != 0 {
+			t.Fatalf("workers=%d: runs=%d errors=%d violations=%d",
+				workers, stats.Runs, stats.Errors, stats.Violations)
+		}
+		raw, err := json.Marshal(stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	first := report(1)
+	for _, workers := range []int{4, 16} {
+		if got := report(workers); string(got) != string(first) {
+			t.Fatalf("JSON report diverged between workers=1 and workers=%d:\n%s\nvs\n%s",
+				workers, first, got)
+		}
+	}
+}
+
+// shardCounter is a minimal custom Collector for the shard protocol
+// tests: worker-local shards count observations without locks (the
+// campaign contract guarantees single-goroutine access), Join folds them
+// back, and a global counter cross-checks under -race that Observe calls
+// really were shard-confined.
+type shardCounter struct {
+	observed int64
+	errs     int64
+	joined   int64 // number of shards folded in (root only)
+	global   *atomic.Int64
+}
+
+func (s *shardCounter) Observe(o kset.Observation) {
+	s.observed++ // intentionally unsynchronized: must be race-free by construction
+	if o.Err {
+		s.errs++
+	}
+	if s.global != nil {
+		s.global.Add(1)
+	}
+}
+
+func (s *shardCounter) Fork() kset.Collector { return &shardCounter{global: s.global} }
+
+func (s *shardCounter) Join(shard kset.Collector) {
+	sh := shard.(*shardCounter)
+	s.observed += sh.observed
+	s.errs += sh.errs
+	s.joined++
+}
+
+// TestCampaignCollectorShards exercises the concurrent collector-shard
+// pipeline with a custom Collector on a many-worker campaign — under
+// -race this is the proof that Observe stays shard-local while Fork/Join
+// carry everything back: counts must match the campaign's own stats.
+func TestCampaignCollectorShards(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)), kset.WithWorkers(8))
+
+	const runs = 2000
+	scs := make([]kset.Scenario, runs)
+	for i := range scs {
+		scs[i] = kset.Scenario{Input: kset.VectorOf(4, 4, 4, 2, 1, 2), FP: kset.InitialCrashes(p.N, i%(p.T+1))}
+	}
+	var global atomic.Int64
+	counter := &shardCounter{global: &global}
+	extra := kset.NewAccumulator()
+	stats, err := sys.RunCampaign(context.Background(), scs, kset.CollectInto(counter), kset.CollectInto(extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.observed != runs || counter.observed != stats.Runs {
+		t.Errorf("custom collector observed %d runs, stats %d, want %d", counter.observed, stats.Runs, runs)
+	}
+	if counter.joined != 8 {
+		t.Errorf("joined %d shards, want 8 (one per worker)", counter.joined)
+	}
+	if global.Load() != runs {
+		t.Errorf("global observation count %d, want %d", global.Load(), runs)
+	}
+	// The CollectInto accumulator sees the same stream the campaign's own
+	// accumulator folded.
+	if extra.Runs != stats.Runs || extra.Errors != stats.Errors ||
+		extra.MessagesDelivered() != stats.MessagesDelivered ||
+		extra.MaxDecisionRound() != stats.MaxDecisionRound() {
+		t.Errorf("CollectInto accumulator diverged: %+v vs stats %+v", extra, stats)
+	}
+}
+
+// TestCampaignRunAllocations pins the per-run allocation budget of a
+// stats-only campaign with the Collector pipeline in place: the observe
+// path — Observation construction, collector fold, histogram and
+// breakdowns — must add zero allocations over the engine's own ~1
+// alloc/run steady state.
+func TestCampaignRunAllocations(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)), kset.WithWorkers(1))
+	ctx := context.Background()
+
+	const runs = 2048
+	scs := make([]kset.Scenario, runs)
+	for i := range scs {
+		scs[i] = kset.Scenario{Input: kset.VectorOf(4, 4, 4, 2, 1, 2), FP: kset.InitialCrashes(p.N, i%2)}
+	}
+	// Warm the pooled worker state.
+	if _, err := sys.RunCampaign(ctx, scs); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		stats, err := sys.RunCampaign(ctx, scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Runs != runs {
+			t.Fatalf("ran %d/%d", stats.Runs, runs)
+		}
+	})
+	perRun := avg / runs
+	if perRun > 1.2 {
+		t.Errorf("stats-only campaign allocates %.2f/run (%.0f total), want ≤ 1.2 — "+
+			"the collector observe path must stay allocation-free", perRun, avg)
+	}
+}

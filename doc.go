@@ -72,6 +72,22 @@
 //	stats, _ := sys.RunCampaign(ctx, scenarios)
 //	fmt.Println(stats.HitRate(), stats.MeanDecisionRound())
 //
+// # The results plane
+//
+// Behind CampaignStats sits one observability pipeline: every run emits
+// a flat Observation (decision round, messages, crashes, condition hit,
+// verdict), and every installed Collector folds it in a worker-local
+// shard joined deterministically when the campaign completes. The
+// campaign's own Accumulator — a bounded decision-round histogram,
+// min/mean/max summaries and per-executor / per-crash-count / per-label
+// breakdowns, exposed as CampaignStats.Metrics — is worker-count- and
+// scheduling-invariant and JSON-marshalable; CollectInto attaches custom
+// collectors to the same stream:
+//
+//	acc := kset.NewAccumulator()
+//	stats, _ := sys.RunCampaign(ctx, scenarios, kset.CollectInto(acc))
+//	fmt.Println(acc.ByExecutor["figure2"].Rounds.Mean())
+//
 // # Generators and sweeps
 //
 // Campaigns are fed best from scenario generators: a ScenarioSource

@@ -69,6 +69,38 @@ func ExampleCampaign() {
 	// Output: runs 4, violations 0, hit rate 1.00
 }
 
+// ExampleCollectInto attaches a custom results-plane accumulator to a
+// campaign: every run's Observation is folded in worker-local shards and
+// joined deterministically, so the breakdowns (here: per executor) are
+// identical for any worker count.
+func ExampleCollectInto() {
+	p := kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond, _ := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+	sys, _ := kset.New(kset.WithParams(p), kset.WithCondition(cond))
+
+	var scenarios []kset.Scenario
+	for _, ex := range []kset.Executor{kset.Figure2, kset.Classical} {
+		for f := 0; f <= p.T; f++ {
+			scenarios = append(scenarios, kset.Scenario{
+				Input:    kset.VectorOf(4, 4, 4, 2, 1, 2),
+				FP:       kset.InitialCrashes(p.N, f),
+				Executor: ex,
+			})
+		}
+	}
+	acc := kset.NewAccumulator()
+	if _, err := sys.RunCampaign(context.Background(), scenarios, kset.CollectInto(acc)); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range acc.ExecutorKeys() {
+		g := acc.ByExecutor[name]
+		fmt.Printf("%s: %d runs, max round %d\n", name, g.Runs, g.Rounds.Max)
+	}
+	// Output:
+	// classical: 4 runs, max round 2
+	// figure2: 4 runs, max round 2
+}
+
 // ExampleConditionSize evaluates the Theorem-13 closed form: the size of
 // the max_ℓ-generated condition, far beyond anything enumerable.
 func ExampleConditionSize() {

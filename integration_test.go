@@ -25,9 +25,16 @@ func TestCmdLattice(t *testing.T) {
 		t.Skip("spawns the toolchain")
 	}
 	out := runMain(t, "./cmd/lattice", "-n", "4", "-m", "3", "-xmax", "1", "-lmax", "2")
-	for _, want := range []string{"✓", "all 4 cells verified"} {
+	for _, want := range []string{"✓", "4/4 cells verified"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("lattice output lacks %q:\n%s", want, out)
+		}
+	}
+	// The -json form emits the shared structured report encoding.
+	out = runMain(t, "./cmd/lattice", "-n", "4", "-m", "3", "-xmax", "1", "-lmax", "2", "-json")
+	for _, want := range []string{`"id": "lattice"`, `"ok": true`, `"sections"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lattice -json output lacks %q:\n%s", want, out)
 		}
 	}
 }
@@ -40,6 +47,13 @@ func TestCmdNBCount(t *testing.T) {
 	for _, want := range []string{"NB(x,ℓ)", "brute-force cross-check passed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("nbcount output lacks %q:\n%s", want, out)
+		}
+	}
+	// The -json form emits the shared structured report encoding.
+	out = runMain(t, "./cmd/nbcount", "-n", "5", "-m", "3", "-lmax", "2", "-json")
+	for _, want := range []string{`"id": "nbcount"`, `"ok": true`, `"columns"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("nbcount -json output lacks %q:\n%s", want, out)
 		}
 	}
 }

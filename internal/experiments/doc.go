@@ -1,11 +1,17 @@
-// Package experiments regenerates every evaluation artifact of the paper
-// (see DESIGN.md's experiment index): the Figure-1 lattice, the Table-1
-// counterexample, the NB(x,ℓ) condition sizes, the round-complexity
-// claims of Theorem 10 and Lemmas 1–2, the size/speed tradeoff, the
-// dividing power of k, the early-deciding extension, baseline comparisons,
-// worst-case tightness, and the asynchronous algorithm. Each experiment
-// returns a human-readable report whose tables mirror what the paper
-// states; cmd/experiments prints them and EXPERIMENTS.md records them.
+// Package experiments is the declarative registry of the paper's
+// evaluation artifacts: each experiment is a Spec — identifier, paper
+// anchor, default parameters and a runner — and each run produces a
+// structured, JSON-marshalable Report whose sections hold named tables,
+// series and notes instead of preformatted strings. cmd/experiments
+// enumerates the registry (-list), renders reports as text or JSON
+// (-json), and CI diffs the JSON structurally.
+//
+// The runners execute on the library's batch infrastructure — System
+// campaigns with labeled scenarios, SweepDegrees/SweepFailures/
+// SweepExecutors grids under RunSweep, and core.Exhaust for exhaustive
+// model checks — and read their measurements off the results plane
+// (internal/stats): campaign accumulators, per-label/per-crash-count
+// breakdowns and decision-round histograms.
 //
 // Paper map (experiment → claim):
 //

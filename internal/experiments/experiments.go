@@ -1,267 +1,339 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
+	"kset"
 	"kset/internal/adversary"
 	"kset/internal/condition"
 	"kset/internal/core"
 	"kset/internal/count"
 	"kset/internal/lattice"
-	"kset/internal/rounds"
 	"kset/internal/vector"
 )
 
-// Report is one experiment's output.
-type Report struct {
-	// ID is the experiment identifier (E1..E10).
-	ID string
-	// Title describes the paper artifact reproduced.
-	Title string
-	// Body is the rendered report.
-	Body string
-	// OK reports whether every checked claim held.
-	OK bool
-}
-
-// String implements fmt.Stringer.
-func (r Report) String() string {
-	status := "VERIFIED"
-	if !r.OK {
-		status = "FAILED"
+// denseVec builds a vector with the top value m on its first top entries
+// and small varied values elsewhere: the canonical member of every
+// max_ℓ-generated condition with x < top.
+func denseVec(n, m, top int) vector.Vector {
+	v := vector.New(n)
+	for i := range v {
+		switch {
+		case i < top:
+			v[i] = vector.Value(m)
+		case m > 2:
+			v[i] = vector.Value(1 + i%(m-1))
+		default:
+			v[i] = 1
+		}
 	}
-	return fmt.Sprintf("=== %s: %s [%s]\n%s", r.ID, r.Title, status, r.Body)
+	return v
 }
 
-// E1Lattice verifies and renders the Figure-1 inclusion lattice of the
-// sets of (x,ℓ)-legal conditions over {1..m}^n.
-func E1Lattice(n, m, xMax, lMax int) Report {
-	r := Report{ID: "E1", Title: "Figure 1 — the lattice of (x,ℓ)-legal condition sets", OK: true}
+// sparseVec builds a vector carrying the top value exactly once — outside
+// every max_1-generated condition with x ≥ 1.
+func sparseVec(n, m int) vector.Vector {
+	v := denseVec(n, m, 1)
+	return v
+}
+
+// fmtBool renders a verified boolean cell as "value(want expected)".
+func fmtBool(got, want bool) string {
+	if got == want {
+		return fmt.Sprintf("%v", got)
+	}
+	return fmt.Sprintf("%v(want %v)", got, want)
+}
+
+// runE1 verifies and renders the Figure-1 inclusion lattice of the sets
+// of (x,ℓ)-legal conditions over {1..m}^n.
+func runE1(cfg Params) Report {
+	r := begin("E1", cfg)
+	n, m, xMax, lMax := cfg["n"], cfg["m"], cfg["xmax"], cfg["lmax"]
 	facts, err := lattice.VerifyFigure1(n, m, xMax, lMax)
 	if err != nil {
-		return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		return r.Fail(err)
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "domain {1..%d}^%d\n%s\n", m, n, lattice.Render(facts))
-	fmt.Fprintf(&b, "%-8s %-6s %-6s %-6s %-6s %-10s %s\n",
-		"cell", "thm4", "thm5", "thm6", "thm7", "C_all", "skipped")
+	diagram := r.Section("diagram")
+	diagram.Note("domain {1..%d}^%d", m, n)
+	diagram.NoteBlock(lattice.Render(facts))
+	cells := r.Section("cells")
+	tbl := cells.AddTable("cell", "thm4", "thm5", "thm6", "thm7", "C_all", "skipped")
 	for _, f := range facts {
-		if !f.Verified() {
-			r.OK = false
-		}
-		allCell := fmt.Sprintf("%v(want %v)", f.AllLegal, f.AllExpected)
-		fmt.Fprintf(&b, "(%d,%d)    %-6v %-6v %-6v %-6v %-10s %s\n",
-			f.X, f.L, f.UpInclusion, f.UpStrict, f.RightInclusion, f.RightStrict,
-			allCell, strings.Join(f.Skipped, "; "))
+		r.Check(f.Verified())
+		tbl.Row(
+			fmt.Sprintf("(%d,%d)", f.X, f.L),
+			fmt.Sprintf("%v", f.UpInclusion),
+			fmt.Sprintf("%v", f.UpStrict),
+			fmt.Sprintf("%v", f.RightInclusion),
+			fmt.Sprintf("%v", f.RightStrict),
+			fmtBool(f.AllLegal, f.AllExpected),
+			strings.Join(f.Skipped, "; "),
+		)
 	}
-	r.Body = b.String()
 	return r
 }
 
-// E2Table1 reproduces Table 1 and both Appendix-B diagonals (Theorems 14
+// runE2 reproduces Table 1 and both Appendix-B diagonals (Theorems 14
 // and 15).
-func E2Table1() Report {
-	r := Report{ID: "E2", Title: "Table 1 + Theorems 14/15 — (x,ℓ) vs (x+1,ℓ+1) incomparability", OK: true}
-	var b strings.Builder
+func runE2(cfg Params) Report {
+	r := begin("E2", cfg)
 
 	c := lattice.Table1Condition()
-	b.WriteString("Table 1 condition (a,b,c,d = 1,2,3,4):\n")
+	members := r.Section("table-1")
+	members.Note("Table 1 condition (a,b,c,d = 1,2,3,4)")
+	mtbl := members.AddTable("member", "vector", "h_1")
 	for k, i := range c.Members() {
-		fmt.Fprintf(&b, "  I%d = %v   h_1(I%d) = %v\n", k+1, i, k+1, c.Recognize(i))
+		mtbl.Row(fmt.Sprintf("I%d", k+1), fmt.Sprintf("%v", i), c.Recognize(i).String())
 	}
 	legal11 := condition.Check(c, 1, condition.CheckOptions{}) == nil
 	_, legal22 := condition.ExistsRecognizer(lattice.WithL(c, 2), 2)
-	fmt.Fprintf(&b, "(1,1)-legal: %v (want true)\n(2,2)-legal: %v (want false — Theorem 14)\n",
-		legal11, legal22)
-	r.OK = r.OK && legal11 && !legal22
+	members.Note("(1,1)-legal: %s", fmtBool(legal11, true))
+	members.Note("(2,2)-legal: %s (Theorem 14)", fmtBool(legal22, false))
+	r.Check(legal11 && !legal22)
 
-	b.WriteString("\nTheorem 15 family ((x+1,ℓ+1)-legal, not (x,ℓ)-legal):\n")
+	t15 := r.Section("theorem-15")
+	t15.Note("family ((x+1,ℓ+1)-legal, not (x,ℓ)-legal)")
+	ttbl := t15.AddTable("n", "x", "ℓ", "(x+1,ℓ+1)-legal", "(x,ℓ)-legal")
 	for _, tc := range []struct{ n, x, l int }{{5, 3, 1}, {6, 4, 2}, {7, 4, 3}} {
 		c15, err := lattice.Theorem15Condition(tc.n, tc.x, tc.l)
 		if err != nil {
-			fmt.Fprintf(&b, "  n=%d x=%d ℓ=%d: %v\n", tc.n, tc.x, tc.l, err)
+			ttbl.Row(fmt.Sprint(tc.n), fmt.Sprint(tc.x), fmt.Sprint(tc.l), "error: "+err.Error(), "")
 			r.OK = false
 			continue
 		}
 		up := condition.Check(c15, tc.x+1, condition.CheckOptions{}) == nil
 		_, down := condition.ExistsRecognizer(lattice.WithL(c15, tc.l), tc.x)
-		fmt.Fprintf(&b, "  n=%d x=%d ℓ=%d: (x+1,ℓ+1)-legal=%v (want true), (x,ℓ)-legal=%v (want false)\n",
-			tc.n, tc.x, tc.l, up, down)
-		r.OK = r.OK && up && !down
+		r.Check(up && !down)
+		ttbl.Row(fmt.Sprint(tc.n), fmt.Sprint(tc.x), fmt.Sprint(tc.l),
+			fmtBool(up, true), fmtBool(down, false))
 	}
-	r.Body = b.String()
 	return r
 }
 
-// E3Counting tabulates NB(x,ℓ) (Theorems 3 and 13) and cross-checks the
+// runE3 tabulates NB(x,ℓ) (Theorems 3 and 13) and cross-checks the
 // formulas against brute-force enumeration where affordable.
-func E3Counting(n, m, lMax int) Report {
-	r := Report{ID: "E3", Title: "Theorems 3/13 — condition sizes NB(x,ℓ)", OK: true}
-	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d m=%d; NB(x,ℓ) and fraction of all %d^%d vectors\n", n, m, m, n)
-	fmt.Fprintf(&b, "%-4s", "x")
+func runE3(cfg Params) Report {
+	r := begin("E3", cfg)
+	n, m, lMax := cfg["n"], cfg["m"], cfg["lmax"]
+
+	sizes := r.Section("sizes")
+	sizes.Note("n=%d m=%d; NB(x,ℓ) and fraction of all %d^%d vectors", n, m, m, n)
+	cols := []string{"x"}
 	for l := 1; l <= lMax; l++ {
-		fmt.Fprintf(&b, " %22s", fmt.Sprintf("ℓ=%d", l))
+		cols = append(cols, fmt.Sprintf("NB(ℓ=%d)", l), fmt.Sprintf("frac(ℓ=%d)", l))
 	}
-	b.WriteByte('\n')
+	tbl := sizes.AddTable(cols...)
+	for l := 1; l <= lMax; l++ {
+		curve := sizes.AddSeries(fmt.Sprintf("fraction-l%d", l))
+		for x := 0; x < n; x++ {
+			f, err := count.Fraction(n, m, x, l)
+			if err != nil {
+				return r.Fail(err)
+			}
+			curve.Add(float64(x), f)
+		}
+	}
 	for x := 0; x < n; x++ {
-		fmt.Fprintf(&b, "%-4d", x)
+		row := []string{fmt.Sprint(x)}
 		for l := 1; l <= lMax; l++ {
-			nb := count.MustNB(n, m, x, l)
+			nb, err := count.NB(n, m, x, l)
+			if err != nil {
+				return r.Fail(err)
+			}
 			f, _ := count.Fraction(n, m, x, l)
-			fmt.Fprintf(&b, " %14s (%5.3f)", nb.String(), f)
+			cell := nb.String()
 			if n <= 6 {
 				if bf := count.BruteForce(n, m, x, l); nb.Int64() != bf {
-					fmt.Fprintf(&b, " MISMATCH(bf=%d)", bf)
+					cell = fmt.Sprintf("%s(bf=%d!)", cell, bf)
 					r.OK = false
 				}
 			}
+			row = append(row, cell, fmt.Sprintf("%.3f", f))
 		}
-		b.WriteByte('\n')
+		tbl.Row(row...)
 	}
-	b.WriteString("(NB grows as x shrinks or ℓ grows — the hierarchy directions of Section 5;\n")
-	b.WriteString(" ℓ=1 column additionally matches the Theorem-3 closed form)\n")
+	sizes.Note("(NB grows as x shrinks or ℓ grows — the hierarchy directions of Section 5)")
 	for x := 0; x < n; x++ {
-		if count.MustNB(n, m, x, 1).Cmp(count.NBConsensus(n, m, x)) != 0 {
-			r.OK = false
-			b.WriteString("Theorem-3 form DISAGREES\n")
+		if !r.Check(count.MustNB(n, m, x, 1).Cmp(count.NBConsensus(n, m, x)) == 0) {
+			sizes.Note("Theorem-3 closed form DISAGREES at x=%d", x)
 		}
 	}
-	r.Body = b.String()
 	return r
 }
 
-// boundScenario is one row of the E4 table.
-type boundScenario struct {
-	name    string
-	input   vector.Vector
-	fp      rounds.FailurePattern
-	inC     bool
-	predict int
-}
-
-// E4Bounds measures decision rounds for every scenario class of Theorem 10
-// and Lemmas 1–2 and compares them with the predictions.
-func E4Bounds() Report {
-	r := Report{ID: "E4", Title: "Theorem 10 / Lemmas 1–2 — round bounds by scenario", OK: true}
-	var b strings.Builder
-
-	p := core.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
-	m := 4
-	c := condition.MustNewMax(p.N, m, p.X(), p.L)
-	inC := vector.OfInts(4, 4, 4, 2, 1, 2, 3, 1)  // top value on 3 > x=2 entries
-	outC := vector.OfInts(4, 3, 2, 1, 1, 2, 3, 1) // top value once
-	if !c.Contains(inC) || c.Contains(outC) {
-		return Report{ID: r.ID, Title: r.Title, Body: "scenario inputs misclassified"}
+// runE4 measures decision rounds for every scenario class of Theorem 10
+// and Lemmas 1–2 and compares them with the predictions: the named
+// scenarios as one labeled campaign (per-outcome verdicts streamed over
+// CollectResults), then a seeded random-adversary sweep whose bound
+// checks ride the same pipeline.
+func runE4(cfg Params) Report {
+	r := begin("E4", cfg)
+	p := core.Params{N: cfg["n"], T: cfg["t"], K: cfg["k"], D: cfg["d"], L: cfg["l"]}
+	m := cfg["m"]
+	c, err := condition.NewMax(p.N, m, p.X(), p.L)
+	if err != nil {
+		return r.Fail(err)
 	}
-	fmt.Fprintf(&b, "params n=%d t=%d k=%d d=%d ℓ=%d (x=%d): RCond=%d RMax=%d\n\n",
+	inC := denseVec(p.N, m, p.X()+1)
+	outC := sparseVec(p.N, m)
+	if !c.Contains(inC) || c.Contains(outC) {
+		return r.Failf("scenario inputs misclassified")
+	}
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c))
+	if err != nil {
+		return r.Fail(err)
+	}
+	ctx := context.Background()
+
+	head := r.Section("parameters")
+	head.Note("params n=%d t=%d k=%d d=%d ℓ=%d (x=%d): RCond=%d RMax=%d",
 		p.N, p.T, p.K, p.D, p.L, p.X(), p.RCond(), p.RMax())
 
-	scenarios := []boundScenario{
-		{"I∈C, failure-free", inC, adversary.None(), true, 2},
-		{"I∈C, f≤t−d crashes", inC, adversary.InitialLast(p.N, p.X()), true, 2},
-		{"I∈C, f>t−d staggered", inC, adversary.Stagger(p.N, p.T, p.X()+1, p.K, p.RMax()), true, p.RCond()},
-		{"I∉C, failure-free", outC, adversary.None(), false, p.RMax()},
-		{"I∉C, staggered", outC, adversary.Stagger(p.N, p.T, p.X()+1, p.K, p.RMax()), false, p.RMax()},
-		{"I∉C, >t−d initial", outC, adversary.InitialLast(p.N, p.X()+1), false, p.RCond()},
+	scenarios := []struct {
+		label   string
+		input   vector.Vector
+		fp      kset.FailurePattern
+		predict int
+	}{
+		{"I∈C, failure-free", inC, adversary.None(), 2},
+		{"I∈C, f≤t−d crashes", inC, adversary.InitialLast(p.N, p.X()), 2},
+		{"I∈C, f>t−d staggered", inC, adversary.Stagger(p.N, p.T, p.X()+1, p.K, p.RMax()), p.RCond()},
+		{"I∉C, failure-free", outC, adversary.None(), p.RMax()},
+		{"I∉C, staggered", outC, adversary.Stagger(p.N, p.T, p.X()+1, p.K, p.RMax()), p.RMax()},
+		{"I∉C, >t−d initial", outC, adversary.InitialLast(p.N, p.X()+1), p.RCond()},
 	}
-	fmt.Fprintf(&b, "%-26s %-9s %-9s %-9s %s\n", "scenario", "predicted", "measured", "values", "spec")
-	for _, sc := range scenarios {
-		res, err := core.Run(p, c, sc.input, sc.fp, false)
-		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
-		}
-		verdict := core.Verify(sc.input, sc.fp, res, p.K)
-		ok := verdict.OK() && verdict.MaxRound <= sc.predict
-		if !ok {
-			r.OK = false
-		}
-		fmt.Fprintf(&b, "%-26s ≤%-8d %-9d %-9s %v\n",
-			sc.name, sc.predict, verdict.MaxRound, verdict.Distinct.String(), verdict.OK())
+	scs := make([]kset.Scenario, len(scenarios))
+	for i, sc := range scenarios {
+		scs[i] = kset.Scenario{Label: sc.label, Input: sc.input, FP: sc.fp}
+	}
+	camp := sys.NewCampaign(ctx, kset.CollectResults(len(scs)), kset.VerifyRuns())
+	if err := camp.SubmitAll(scs); err != nil {
+		return r.Fail(err)
+	}
+	camp.Close()
+	outcomes := make(map[string]kset.Outcome, len(scs))
+	for out := range camp.Results() {
+		outcomes[out.Scenario.Label] = out
+	}
+	if _, err := camp.Wait(); err != nil {
+		return r.Fail(err)
 	}
 
-	// Random sweep: predictions are upper bounds across random adversaries.
-	rng := rand.New(rand.NewSource(17))
-	worst := 0
-	for trial := 0; trial < 500; trial++ {
-		fp := adversary.Random(rng, p.N, p.T, p.RMax())
-		input := inC
-		isIn := true
+	named := r.Section("scenarios")
+	tbl := named.AddTable("scenario", "predicted", "measured", "values", "spec")
+	for _, sc := range scenarios {
+		out := outcomes[sc.label]
+		if out.Err != nil {
+			return r.Fail(out.Err)
+		}
+		v := out.Verdict
+		r.Check(v.OK() && v.MaxRound <= sc.predict)
+		tbl.Row(sc.label, fmt.Sprintf("≤%d", sc.predict), fmt.Sprint(v.MaxRound),
+			v.Distinct.String(), fmt.Sprintf("%v", v.OK()))
+	}
+
+	// Random sweep: predictions are upper bounds across random
+	// adversaries. The scenario list is generated from the seed up front
+	// (deterministic), the campaign runs it concurrently, and the
+	// per-crash-count breakdown of the campaign's accumulator yields the
+	// rounds-vs-f curve.
+	trials, seed := cfg["trials"], int64(cfg["seed"])
+	rng := rand.New(rand.NewSource(seed))
+	sweep := make([]kset.Scenario, trials)
+	for trial := range sweep {
+		input, label := inC, "inC"
 		if trial%2 == 1 {
-			input, isIn = outC, false
+			input, label = outC, "outC"
 		}
-		res, err := core.Run(p, c, input, fp, false)
-		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		sweep[trial] = kset.Scenario{Label: label, Input: input, FP: adversary.Random(rng, p.N, p.T, p.RMax())}
+	}
+	camp = sys.NewCampaign(ctx, kset.CollectResults(trials), kset.VerifyRuns())
+	if err := camp.SubmitAll(sweep); err != nil {
+		return r.Fail(err)
+	}
+	camp.Close()
+	worst, bad := 0, 0
+	for out := range camp.Results() {
+		if out.Err != nil {
+			return r.Fail(out.Err)
 		}
-		verdict := core.Verify(input, fp, res, p.K)
-		bound := core.PredictRounds(p, isIn, fp)
-		if !verdict.OK() || verdict.MaxRound > bound {
-			r.OK = false
-			fmt.Fprintf(&b, "RANDOM VIOLATION trial %d: %v (bound %d)\n", trial, verdict, bound)
+		bound := core.PredictRounds(p, out.Scenario.Label == "inC", out.Scenario.FP)
+		if !out.Verdict.OK() || out.Verdict.MaxRound > bound {
+			bad++
 		}
-		if verdict.MaxRound > worst {
-			worst = verdict.MaxRound
+		if out.Verdict.MaxRound > worst {
+			worst = out.Verdict.MaxRound
 		}
 	}
-	fmt.Fprintf(&b, "\n500 random adversaries: all within predicted bounds; worst observed round %d\n", worst)
-	r.Body = b.String()
+	stats, err := camp.Wait()
+	if err != nil {
+		return r.Fail(err)
+	}
+	random := r.Section("random-sweep")
+	r.Check(bad == 0 && stats.Violations == 0)
+	random.Note("%d random adversaries: %d bound violations; worst observed round %d",
+		trials, bad, worst)
+	curve := random.AddSeries("mean-round-by-crashes")
+	for _, f := range stats.Metrics.CrashKeys() {
+		curve.Add(float64(f), stats.Metrics.ByCrashes[f].Rounds.Mean())
+	}
 	return r
 }
 
-// E5Tradeoff produces the paper's central size/speed series: as the degree
-// d grows, the condition admits more input vectors but decides later.
-func E5Tradeoff() Report {
-	r := Report{ID: "E5", Title: "Section 5 — condition size vs decision rounds across d", OK: true}
-	var b strings.Builder
-	n, m, t, k, l := 8, 4, 5, 1, 1
-	fmt.Fprintf(&b, "n=%d m=%d t=%d k=%d ℓ=%d; input ∈ C, min(t, t−d+1) initial crashes —\n", n, m, t, k, l)
-	b.WriteString("the adversary that forces the Tmf branch, making RCond tight\n\n")
-	fmt.Fprintf(&b, "%-4s %-4s %-14s %-10s %-7s %-9s\n", "d", "x", "NB(x,ℓ)", "fraction", "RCond", "measured")
-	prevNB := int64(-1)
-	prevR := 0
-	for d := 0; d <= t-l; d++ {
-		p := core.Params{N: n, T: t, K: k, D: d, L: l}
-		x := p.X()
-		c := condition.MustNewMax(n, m, x, l)
-		nb := count.MustNB(n, m, x, l)
-		frac, _ := count.Fraction(n, m, x, l)
-		// An input in every condition of the sweep: top value everywhere.
-		input := vector.OfInts(4, 4, 4, 4, 4, 4, 4, 4)
-		crashes := x + 1
-		if crashes > t {
-			crashes = t // the >t−d premise is unreachable at d=0
-		}
-		fp := adversary.InitialLast(n, crashes)
-		res, err := core.Run(p, c, input, fp, false)
-		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
-		}
-		verdict := core.Verify(input, fp, res, k)
+// runE5 produces the paper's central size/speed series on the sweep
+// infrastructure: one SweepDegrees grid point per degree d, each running
+// the RCond-forcing adversary through a verified campaign; as d grows the
+// condition admits more input vectors but decides later.
+func runE5(cfg Params) Report {
+	r := begin("E5", cfg)
+	n, m := cfg["n"], cfg["m"]
+	base := core.Params{N: n, T: cfg["t"], K: cfg["k"], L: cfg["l"]}
+	// An input in every condition of the sweep: the top value everywhere.
+	input := denseVec(n, m, n)
+	points, err := kset.SweepDegrees(base, m, func(pp kset.Params, c *kset.MaxCondition) kset.ScenarioSource {
+		// The forcing adversary: more than t−d initial crashes (capped at
+		// t; the >t−d premise is unreachable at d=0).
+		return kset.CrossFailures(kset.Inputs(input), adversary.InitialLast(n, min(pp.X()+1, pp.T)))
+	})
+	if err != nil {
+		return r.Fail(err)
+	}
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		return r.Fail(err)
+	}
+
+	sweep := r.Section("tradeoff")
+	sweep.Note("n=%d m=%d t=%d k=%d ℓ=%d; input ∈ C, min(t, t−d+1) initial crashes —", n, m, base.T, base.K, base.L)
+	sweep.Note("the adversary that forces the Tmf branch, making RCond tight")
+	tbl := sweep.AddTable("d", "x", "NB(x,ℓ)", "fraction", "RCond", "measured")
+	sizeCurve := sweep.AddSeries("fraction-by-d")
+	prevNB, prevR := int64(-1), 0
+	for _, res := range results {
+		p := res.Params
+		nb := count.MustNB(n, m, p.X(), p.L)
+		frac, _ := count.Fraction(n, m, p.X(), p.L)
+		measured := res.Stats.MaxDecisionRound()
 		// With >t−d initial crashes every survivor is in the Tmf branch
 		// and decides exactly at RCond; at d=0 the premise is unreachable
 		// and the two-round fast path applies instead.
 		want := p.RCond()
-		if crashes <= x {
+		if min(p.X()+1, p.T) <= p.X() {
 			want = 2
 		}
-		if !verdict.OK() || verdict.MaxRound != want {
-			r.OK = false
-		}
-		fmt.Fprintf(&b, "%-4d %-4d %-14s %-10.4f %-7d %-9d\n",
-			d, x, nb.String(), frac, p.RCond(), verdict.MaxRound)
-		if nb.Int64() < prevNB {
-			r.OK = false // size must grow with d
-		}
-		if p.RCond() < prevR {
-			r.OK = false // rounds must not shrink with d
-		}
+		r.Check(res.Stats.Errors == 0 && res.Stats.Violations == 0 && measured == want)
+		r.Check(nb.Int64() >= prevNB) // size must grow with d
+		r.Check(p.RCond() >= prevR)   // rounds must not shrink with d
 		prevNB, prevR = nb.Int64(), p.RCond()
+		tbl.Row(fmt.Sprint(p.D), fmt.Sprint(p.X()), nb.String(), fmt.Sprintf("%.4f", frac),
+			fmt.Sprint(p.RCond()), fmt.Sprint(measured))
+		sizeCurve.Add(float64(p.D), frac)
 	}
-	b.WriteString("\n(shape: NB and fraction grow with d while RCond grows — the inherent tradeoff;\n")
-	b.WriteString(" measured rounds meet RCond exactly under the forcing adversary)\n")
-	r.Body = b.String()
+	sweep.Note("(shape: NB and fraction grow with d while RCond grows — the inherent tradeoff;")
+	sweep.Note(" measured rounds meet RCond exactly under the forcing adversary)")
 	return r
 }

@@ -1,295 +1,356 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 	"time"
 
+	"kset"
 	"kset/internal/adversary"
-	"kset/internal/async"
 	"kset/internal/condition"
 	"kset/internal/core"
-	"kset/internal/rounds"
+	"kset/internal/stats"
 	"kset/internal/vector"
 )
 
-// E6Dividing measures the introduction's "dividing power" claim: for a
-// fixed condition degree d, moving from consensus to k-set agreement
-// divides the condition-based round complexity by k, realizing the pairs
-// (k, ⌊(d+ℓ−1)/k⌋+1).
-func E6Dividing() Report {
-	r := Report{ID: "E6", Title: "Introduction — the (k, ⌊(d+ℓ−1)/k⌋+1) pairs", OK: true}
-	var b strings.Builder
-	n, m, t, d, l := 12, 4, 9, 6, 1
-	fmt.Fprintf(&b, "n=%d m=%d t=%d d=%d ℓ=%d; input ∈ C, t−d+1 initial crashes (RCond-forcing)\n\n", n, m, t, d, l)
-	fmt.Fprintf(&b, "%-4s %-7s %-7s %-9s\n", "k", "RCond", "RMax", "measured")
-	input := vector.New(n)
-	for i := range input {
-		input[i] = 4
-	}
-	for k := 1; k <= 4; k++ {
+// runE6 measures the introduction's "dividing power" claim on a sweep
+// grid: for a fixed condition degree d, moving from consensus to k-set
+// agreement divides the condition-based round complexity by k, realizing
+// the pairs (k, ⌊(d+ℓ−1)/k⌋+1). One grid point per k.
+func runE6(cfg Params) Report {
+	r := begin("E6", cfg)
+	n, m, t, d, l := cfg["n"], cfg["m"], cfg["t"], cfg["d"], cfg["l"]
+	input := denseVec(n, m, n)
+
+	points := make([]kset.SweepPoint, 0, cfg["kmax"])
+	for k := 1; k <= cfg["kmax"]; k++ {
 		p := core.Params{N: n, T: t, K: k, D: d, L: l}
-		c := condition.MustNewMax(n, m, p.X(), l)
-		fp := adversary.InitialLast(n, p.X()+1)
-		res, err := core.Run(p, c, input, fp, false)
+		c, err := condition.NewMax(n, m, p.X(), l)
 		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+			return r.Fail(err)
 		}
-		verdict := core.Verify(input, fp, res, k)
-		if !verdict.OK() || verdict.MaxRound != p.RCond() {
-			r.OK = false
-		}
-		fmt.Fprintf(&b, "%-4d %-7d %-7d %-9d\n", k, p.RCond(), p.RMax(), verdict.MaxRound)
+		points = append(points, kset.SweepPoint{
+			Key:     fmt.Sprintf("k=%d", k),
+			Options: []kset.Option{kset.WithParams(p), kset.WithCondition(c)},
+			Source:  kset.CrossFailures(kset.Inputs(input), adversary.InitialLast(n, p.X()+1)),
+		})
 	}
-	b.WriteString("\n(shape: measured rounds meet ⌊(d+ℓ−1)/k⌋+1 exactly and divide by k;\n")
-	b.WriteString(" k=1 recovers the d+1 consensus bound of [22])\n")
-	r.Body = b.String()
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		return r.Fail(err)
+	}
+
+	sweep := r.Section("dividing")
+	sweep.Note("n=%d m=%d t=%d d=%d ℓ=%d; input ∈ C, t−d+1 initial crashes (RCond-forcing)", n, m, t, d, l)
+	tbl := sweep.AddTable("k", "RCond", "RMax", "measured")
+	curve := sweep.AddSeries("measured-by-k")
+	for _, res := range results {
+		p := res.Params
+		measured := res.Stats.MaxDecisionRound()
+		r.Check(res.Stats.Errors == 0 && res.Stats.Violations == 0 && measured == p.RCond())
+		tbl.Row(fmt.Sprint(p.K), fmt.Sprint(p.RCond()), fmt.Sprint(p.RMax()), fmt.Sprint(measured))
+		curve.Add(float64(p.K), float64(measured))
+	}
+	sweep.Note("(shape: measured rounds meet ⌊(d+ℓ−1)/k⌋+1 exactly and divide by k;")
+	sweep.Note(" k=1 recovers the d+1 consensus bound of [22])")
 	return r
 }
 
-// E7Early measures the early-deciding extension (Section 8): decision
+// runE7 measures the early-deciding extension (Section 8) on the
+// faultstorm grid: one base point expanded along the f-axis by
+// SweepFailures and along the algorithm axis by SweepExecutors; decision
 // rounds as a function of the number of actual crashes f.
-func E7Early() Report {
-	r := Report{ID: "E7", Title: "Section 8 — early decision: rounds vs actual crashes f", OK: true}
-	var b strings.Builder
-	n, m, k := 8, 4, 1
-	t := 6
+func runE7(cfg Params) Report {
+	r := begin("E7", cfg)
+	n, m, t, k := cfg["n"], cfg["m"], cfg["t"], cfg["k"]
 	p := core.Params{N: n, T: t, K: k, D: t, L: 1} // d=t: condition-free regime
-	c := condition.MustNewMax(n, m, p.X(), p.L)
-	input := vector.OfInts(4, 3, 2, 1, 1, 2, 3, 1)
-	fmt.Fprintf(&b, "n=%d t=%d k=%d, input ∉ help range (d=t): plain bound %d\n\n", n, t, k, p.RMax())
-	fmt.Fprintf(&b, "%-4s %-22s %-14s %-14s\n", "f", "early measured", "early bound", "plain measured")
-	for f := 0; f <= t; f++ {
-		fp := adversary.InitialLast(n, f)
-		early, err := core.RunEarly(p, c, input, fp, false)
-		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
-		}
-		plain, err := core.Run(p, c, input, fp, false)
-		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
-		}
-		ev := core.Verify(input, fp, early, k)
-		pv := core.Verify(input, fp, plain, k)
-		bound := f/k + 3
-		if m := core.PredictRounds(p, c.Contains(input), fp); m < bound {
-			bound = m
-		}
-		if !ev.OK() || !pv.OK() || ev.MaxRound > bound || ev.MaxRound > pv.MaxRound {
-			r.OK = false
-		}
-		fmt.Fprintf(&b, "%-4d %-22d ≤%-13d %-14d\n", f, ev.MaxRound, bound, pv.MaxRound)
+	c, err := condition.NewMax(n, m, p.X(), p.L)
+	if err != nil {
+		return r.Fail(err)
 	}
-	b.WriteString("\n(shape: early decision tracks f, not t; the plain algorithm pays the worst case)\n")
-	r.Body = b.String()
+	input := sparseVec(n, m)
+
+	base := kset.SweepPoint{
+		Options: []kset.Option{kset.WithParams(p), kset.WithCondition(c)},
+		Source:  kset.Inputs(input),
+	}
+	points := kset.SweepExecutors(
+		kset.SweepFailures(base, kset.InitialCrashFamily(n, t)),
+		kset.Figure2, kset.EarlyDeciding)
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		return r.Fail(err)
+	}
+	rounds := make(map[string]int, len(results))
+	for _, res := range results {
+		if !r.Check(res.Stats.Errors == 0 && res.Stats.Violations == 0) {
+			return r.Failf("%s: %d errors, %d violations", res.Key, res.Stats.Errors, res.Stats.Violations)
+		}
+		rounds[res.Key] = res.Stats.MaxDecisionRound()
+	}
+
+	early := r.Section("early-decision")
+	early.Note("n=%d t=%d k=%d, input ∉ help range (d=t): plain bound %d", n, t, k, p.RMax())
+	tbl := early.AddTable("f", "early measured", "early bound", "plain measured")
+	curve := early.AddSeries("early-rounds-by-f")
+	for f := 0; f <= t; f++ {
+		ev := rounds[fmt.Sprintf("early/initial=%d", f)]
+		pv := rounds[fmt.Sprintf("figure2/initial=%d", f)]
+		bound := f/k + 3
+		if b := core.PredictRounds(p, c.Contains(input), adversary.InitialLast(n, f)); b < bound {
+			bound = b
+		}
+		r.Check(ev <= bound && ev <= pv)
+		tbl.Row(fmt.Sprint(f), fmt.Sprint(ev), fmt.Sprintf("≤%d", bound), fmt.Sprint(pv))
+		curve.Add(float64(f), float64(ev))
+	}
+	early.Note("(shape: early decision tracks f, not t; the plain algorithm pays the worst case)")
 	return r
 }
 
-// E8Baseline compares the condition-based algorithm against the classical
-// baseline: who wins and where they coincide (abstract's special cases).
-func E8Baseline() Report {
-	r := Report{ID: "E8", Title: "Abstract — condition-based vs classical baseline", OK: true}
-	var b strings.Builder
-	n, m, t, k := 8, 4, 6, 2
-	inC := vector.OfInts(4, 4, 4, 4, 4, 4, 3, 1)  // dense enough for every d ≥ 1 (x ≤ 5)
-	outC := vector.OfInts(4, 3, 2, 1, 1, 2, 3, 1) // top value once: outside C for d < t
-	fmt.Fprintf(&b, "n=%d m=%d t=%d k=%d, failure-free; msgs = messages delivered\n\n", n, m, t, k)
-	fmt.Fprintf(&b, "%-6s %-12s %-12s %-12s %-12s %-12s\n",
-		"d", "cond (I∈C)", "msgs", "cond (I∉C)", "classical", "msgs")
+// runE8 compares the condition-based algorithm against the classical
+// baseline (the abstract's special cases) with one labeled campaign per
+// degree: the per-label breakdown of the campaign's accumulator carries
+// each arm's rounds and message counts.
+func runE8(cfg Params) Report {
+	r := begin("E8", cfg)
+	n, m, t, k := cfg["n"], cfg["m"], cfg["t"], cfg["k"]
+	inC := denseVec(n, m, n-2) // dense enough for every d ≥ 1 (x ≤ t−1)
+	outC := sparseVec(n, m)    // top value once: outside C for d < t
+	ctx := context.Background()
+
+	sec := r.Section("baseline")
+	sec.Note("n=%d m=%d t=%d k=%d, failure-free; msgs = messages delivered", n, m, t, k)
+	tbl := sec.AddTable("d", "cond (I∈C)", "msgs", "cond (I∉C)", "classical", "msgs")
 	for _, d := range []int{1, 2, 4, 6} {
+		if d > t {
+			continue
+		}
 		p := core.Params{N: n, T: t, K: k, D: d, L: 1}
-		c := condition.MustNewMax(n, m, p.X(), p.L)
-		rows := [2]int{}
-		var condMsgs int64
-		for i, input := range []vector.Vector{inC, outC} {
-			if d < t && c.Contains(input) != (i == 0) {
-				return Report{ID: r.ID, Title: r.Title, Body: "input misclassified"}
-			}
-			res, err := core.Run(p, c, input, adversary.None(), false)
-			if err != nil {
-				return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
-			}
-			v := core.Verify(input, adversary.None(), res, k)
-			if !v.OK() {
-				r.OK = false
-			}
-			rows[i] = v.MaxRound
-			if i == 0 {
-				condMsgs = res.MessagesDelivered
-			}
-		}
-		classical, err := core.RunClassical(n, t, k, inC, adversary.None(), false)
+		c, err := condition.NewMax(n, m, p.X(), p.L)
 		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+			return r.Fail(err)
 		}
-		cr := classical.MaxDecisionRound()
-		fmt.Fprintf(&b, "%-6d %-12d %-12d %-12d %-12d %-12d\n",
-			d, rows[0], condMsgs, rows[1], cr, classical.MessagesDelivered)
+		if d < t && (!c.Contains(inC) || c.Contains(outC)) {
+			return r.Failf("d=%d: input misclassified", d)
+		}
+		sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c))
+		if err != nil {
+			return r.Fail(err)
+		}
+		scs := []kset.Scenario{
+			{Label: "cond-inC", Input: inC},
+			{Label: "cond-outC", Input: outC},
+			{Label: "classical", Input: inC, Executor: kset.Classical},
+		}
+		st, err := sys.RunCampaign(ctx, scs, kset.VerifyRuns())
+		if err != nil {
+			return r.Fail(err)
+		}
+		if st.Errors > 0 || st.Violations > 0 {
+			return r.Failf("d=%d: %d errors, %d violations", d, st.Errors, st.Violations)
+		}
+		group := func(label string) *stats.Group { return st.Metrics.ByLabel[label] }
+		condIn, condOut, classical := group("cond-inC"), group("cond-outC"), group("classical")
 		// Shape: with I∈C the condition algorithm never loses to the
 		// classical one — in rounds or in messages — and wins strictly
 		// when the classical bound exceeds two rounds.
-		if rows[0] > cr || condMsgs > classical.MessagesDelivered {
-			r.OK = false
-		}
+		r.Check(condIn.Rounds.Max <= classical.Rounds.Max && condIn.Messages <= classical.Messages)
+		tbl.Row(fmt.Sprint(d),
+			fmt.Sprint(condIn.Rounds.Max), fmt.Sprint(condIn.Messages),
+			fmt.Sprint(condOut.Rounds.Max),
+			fmt.Sprint(classical.Rounds.Max), fmt.Sprint(classical.Messages))
 	}
-	b.WriteString("\n(shape: I∈C decides in 2 rounds — and ~2n² messages — at every d;\n")
-	b.WriteString(" I∉C pays ⌊t/k⌋+1 like the baseline; at d=t, ℓ=1 the bounds collapse)\n")
-	r.Body = b.String()
+	sec.Note("(shape: I∈C decides in 2 rounds — and ~2n² messages — at every d;")
+	sec.Note(" I∉C pays ⌊t/k⌋+1 like the baseline; at d=t, ℓ=1 the bounds collapse)")
 	return r
 }
 
-// E9Tightness searches adversaries for the latest reachable decision round
-// (tightness of the bounds) and model-checks a small configuration
-// exhaustively.
-func E9Tightness() Report {
-	r := Report{ID: "E9", Title: "Worst cases — adversaries meeting the bounds; exhaustive safety", OK: true}
-	var b strings.Builder
+// runE9 searches adversaries for the latest reachable decision round
+// (tightness of the bounds) via a labeled campaign over the chain grid,
+// and model-checks a small configuration exhaustively with core.Exhaust
+// feeding a results-plane accumulator.
+func runE9(cfg Params) Report {
+	r := begin("E9", cfg)
+	n, m, t, k, d := cfg["n"], cfg["m"], cfg["t"], cfg["k"], cfg["d"]
+	p := core.Params{N: n, T: t, K: k, D: d, L: 1}
+	c, err := condition.NewMax(n, m, p.X(), p.L)
+	if err != nil {
+		return r.Fail(err)
+	}
+	outC := sparseVec(n, m)
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c))
+	if err != nil {
+		return r.Fail(err)
+	}
 
 	// Tightness: out-of-condition inputs under chain adversaries reach
 	// ⌊t/k⌋+1 exactly (the classical lower bound [7] applies).
-	n, m, t, k, d := 6, 4, 4, 1, 2
-	p := core.Params{N: n, T: t, K: k, D: d, L: 1}
-	c := condition.MustNewMax(n, m, p.X(), p.L)
-	outC := vector.OfInts(4, 3, 2, 1, 1, 2)
-	worst := 0
-	var worstFP rounds.FailurePattern
+	var scs []kset.Scenario
+	fps := make(map[string]kset.FailurePattern)
 	for c1 := 0; c1 <= t; c1++ {
 		for per := 0; per <= k+1; per++ {
+			label := fmt.Sprintf("c1=%d,per=%d", c1, per)
 			fp := adversary.Stagger(n, t, c1, per, p.RMax())
-			res, err := core.Run(p, c, outC, fp, false)
-			if err != nil {
-				return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
-			}
-			v := core.Verify(outC, fp, res, k)
-			if !v.OK() {
-				r.OK = false
-			}
-			if v.MaxRound > worst {
-				worst, worstFP = v.MaxRound, fp
-			}
+			fps[label] = fp
+			scs = append(scs, kset.Scenario{Label: label, Input: outC, FP: fp})
 		}
 	}
-	fmt.Fprintf(&b, "n=%d t=%d k=%d d=%d, I∉C: latest decision over chain adversaries = %d (bound %d)\n",
-		n, t, k, d, worst, p.RMax())
-	fmt.Fprintf(&b, "worst adversary: %d crashes, %d initial\n", worstFP.NumCrashes(), worstFP.InitialCrashes())
-	if worst != p.RMax() {
-		r.OK = false
+	st, err := sys.RunCampaign(context.Background(), scs, kset.VerifyRuns())
+	if err != nil {
+		return r.Fail(err)
 	}
+	worst := st.MaxDecisionRound()
+	worstLabel := ""
+	for _, label := range st.Metrics.LabelKeys() {
+		if st.Metrics.ByLabel[label].Rounds.Max == int64(worst) {
+			worstLabel = label
+			break
+		}
+	}
+	tight := r.Section("tightness")
+	tight.Note("n=%d t=%d k=%d d=%d, I∉C: latest decision over %d chain adversaries = %d (bound %d)",
+		n, t, k, d, len(scs), worst, p.RMax())
+	worstFP := fps[worstLabel]
+	tight.Note("a worst adversary (%s): %d crashes, %d initial",
+		worstLabel, worstFP.NumCrashes(), worstFP.InitialCrashes())
+	r.Check(st.Errors == 0 && st.Violations == 0 && worst == p.RMax())
 
 	// Exhaustive safety: every pattern × every input on a small instance,
-	// on the buffer-reusing sweep (one engine, one Result for all runs).
+	// on the buffer-reusing sweep (one engine, one Result for all runs),
+	// folded into one accumulator through the same observation pipeline.
 	sp := core.Params{N: 4, T: 2, K: 2, D: 1, L: 1}
-	sc := condition.MustNewMax(sp.N, 2, sp.X(), sp.L)
-	runs, violations := 0, 0
+	sc, err := condition.NewMax(sp.N, 2, sp.X(), sp.L)
+	if err != nil {
+		return r.Fail(err)
+	}
+	acc := stats.NewAccumulator()
 	vector.ForEach(sp.N, 2, func(in vector.Vector) bool {
 		input := in.Clone()
-		inC := sc.Contains(input)
-		err := core.Exhaust(sp, sc, input, func(fp rounds.FailurePattern, res *rounds.Result) bool {
+		inCond := sc.Contains(input)
+		err := core.Exhaust(sp, sc, input, func(fp kset.FailurePattern, res *kset.Result) bool {
+			o := core.Observe(res)
+			o.InCondition = inCond
 			v := core.Verify(input, fp, res, sp.K)
-			if !v.OK() || v.MaxRound > core.PredictRounds(sp, inC, fp) {
-				violations++
-			}
-			runs++
+			o.Verified = true
+			o.Violation = !v.OK() || v.MaxRound > core.PredictRounds(sp, inCond, fp)
+			acc.Observe(o)
 			return true
 		})
 		if err != nil {
-			violations++
+			acc.Observe(stats.Observation{Err: true})
 		}
 		return true
 	})
-	fmt.Fprintf(&b, "\nexhaustive model check (n=%d t=%d k=%d d=%d, m=2): %d executions, %d violations\n",
-		sp.N, sp.T, sp.K, sp.D, runs, violations)
-	if violations > 0 {
-		r.OK = false
-	}
-	r.Body = b.String()
+	exh := r.Section("exhaustive")
+	exh.Note("exhaustive model check (n=%d t=%d k=%d d=%d, m=2): %d executions, %d violations, max round %d",
+		sp.N, sp.T, sp.K, sp.D, acc.Runs, acc.Violations, acc.MaxDecisionRound())
+	r.Check(acc.Errors == 0 && acc.Violations == 0)
 	return r
 }
 
-// E10Async exercises the Section-4 asynchronous algorithm: termination
-// with inputs in the condition under up to x crashes, safety always, and
-// the expected blocking outside the condition.
-func E10Async() Report {
-	r := Report{ID: "E10", Title: "Section 4 — asynchronous condition-based ℓ-set agreement", OK: true}
-	var b strings.Builder
-	n, m, x, l := 6, 4, 2, 2
-	c := condition.MustNewMax(n, m, x, l)
-	inC := vector.OfInts(4, 4, 4, 2, 1, 2)
-	fmt.Fprintf(&b, "n=%d m=%d x=%d ℓ=%d (max_ℓ condition)\n\n", n, m, x, l)
-	fmt.Fprintf(&b, "%-28s %-10s %-10s %-8s\n", "scenario", "decided", "values", "blocked")
-	for _, sc := range []struct {
-		name    string
-		input   vector.Vector
-		crashes map[int]async.CrashPoint
-	}{
-		{"I∈C, no crashes", inC, nil},
-		{"I∈C, x silent processes", inC, map[int]async.CrashPoint{5: async.CrashBeforeWrite, 6: async.CrashBeforeWrite}},
-		{"I∈C, mixed crashes", inC, map[int]async.CrashPoint{2: async.CrashAfterWrite, 6: async.CrashBeforeWrite}},
-	} {
-		out, err := async.Run(async.Config{
-			X: x, Cond: c, Input: sc.input, Crashes: sc.crashes, Seed: 11, Patience: 2 * time.Second,
-		})
-		if err != nil {
-			return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+// runE10 exercises the Section-4 asynchronous algorithm as campaigns on
+// the Asynchronous executor: termination with inputs in the condition
+// under up to x crashes, safety always, and the expected blocking outside
+// the condition.
+func runE10(cfg Params) Report {
+	r := begin("E10", cfg)
+	n, m, x, l := cfg["n"], cfg["m"], cfg["x"], cfg["l"]
+	c, err := condition.NewMax(n, m, x, l)
+	if err != nil {
+		return r.Fail(err)
+	}
+	// An async instance is parameterized by x = t−d and ℓ alone; any
+	// Params with that X validates (k = ℓ keeps the ranges legal).
+	p := core.Params{N: n, T: x, K: l, D: 0, L: l}
+	inC := denseVec(n, m, n-x)
+	if !c.Contains(inC) {
+		return r.Failf("input misclassified")
+	}
+	ctx := context.Background()
+
+	sec := r.Section("async")
+	sec.Note("n=%d m=%d x=%d ℓ=%d (max_ℓ condition)", n, m, x, l)
+	tbl := sec.AddTable("scenario", "decided", "values", "blocked")
+
+	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c),
+		kset.WithExecutor(kset.Asynchronous), kset.WithAsyncPatience(2*time.Second))
+	if err != nil {
+		return r.Fail(err)
+	}
+	scs := []kset.Scenario{
+		{Label: "I∈C, no crashes", Input: inC, Seed: 11},
+		{Label: "I∈C, x silent processes", Input: inC, Seed: 11,
+			AsyncCrashes: map[int]kset.CrashPoint{n - 1: kset.CrashBeforeWrite, n: kset.CrashBeforeWrite}},
+		{Label: "I∈C, mixed crashes", Input: inC, Seed: 11,
+			AsyncCrashes: map[int]kset.CrashPoint{2: kset.CrashAfterWrite, n: kset.CrashBeforeWrite}},
+	}
+	camp := sys.NewCampaign(ctx, kset.CollectResults(len(scs)))
+	if err := camp.SubmitAll(scs); err != nil {
+		return r.Fail(err)
+	}
+	camp.Close()
+	outcomes := make(map[string]kset.Outcome, len(scs))
+	for out := range camp.Results() {
+		outcomes[out.Scenario.Label] = out
+	}
+	if _, err := camp.Wait(); err != nil {
+		return r.Fail(err)
+	}
+	for _, sc := range scs {
+		out := outcomes[sc.Label]
+		if out.Err != nil {
+			return r.Fail(out.Err)
 		}
-		distinct := out.DistinctDecisions()
-		ok := len(out.Undecided) == 0 && distinct.Len() <= l && distinct.SubsetOf(sc.input.Vals())
-		if !ok {
-			r.OK = false
-		}
-		fmt.Fprintf(&b, "%-28s %-10d %-10s %-8d\n", sc.name, len(out.Decisions), distinct.String(), len(out.Undecided))
+		res := out.Result
+		decided, crashed := len(res.Decisions), len(res.Crashed)
+		blocked := n - decided - crashed
+		distinct := res.DistinctDecisions()
+		r.Check(blocked == 0 && distinct.Len() <= l && distinct.SubsetOf(sc.Input.Vals()))
+		tbl.Row(sc.Label, fmt.Sprint(decided), distinct.String(), fmt.Sprint(blocked))
 	}
 
 	// The same algorithm over the message-passing substrate (ABD quorum
 	// registers, x < n/2): identical guarantees with no shared memory at
 	// all.
-	outMP, err := async.Run(async.Config{
-		X: x, Cond: c, Input: inC, Seed: 19,
-		Memory: async.MessagePassingMemory, Patience: 10 * time.Second,
-	})
+	mpSys, err := kset.New(kset.WithParams(p), kset.WithCondition(c),
+		kset.WithExecutor(kset.Asynchronous), kset.WithAsyncPatience(10*time.Second),
+		kset.WithAsyncMemory(kset.MessagePassingMemory))
 	if err != nil {
-		return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		return r.Fail(err)
 	}
-	mpOK := len(outMP.Undecided) == 0 && outMP.DistinctDecisions().Len() <= l
-	if !mpOK {
-		r.OK = false
+	mpRes, err := mpSys.RunScenario(ctx, kset.Scenario{Input: inC, Seed: 19})
+	if err != nil {
+		return r.Fail(err)
 	}
-	fmt.Fprintf(&b, "%-28s %-10d %-10s %-8d\n",
-		"I∈C, message passing", len(outMP.Decisions), outMP.DistinctDecisions().String(), len(outMP.Undecided))
+	mpBlocked := n - len(mpRes.Decisions)
+	r.Check(mpBlocked == 0 && mpRes.DistinctDecisions().Len() <= l)
+	tbl.Row("I∈C, message passing", fmt.Sprint(len(mpRes.Decisions)),
+		mpRes.DistinctDecisions().String(), fmt.Sprint(mpBlocked))
 
 	// Blocking face: an explicit condition none of whose members matches
 	// any view of the input.
-	blocker := condition.MustNewExplicit(4, 4, 1)
-	blocker.MustAdd(vector.OfInts(1, 1, 2, 3), vector.SetOf(1))
-	out, err := async.Run(async.Config{
-		X: 1, Cond: blocker, Input: vector.OfInts(2, 2, 3, 1), Seed: 5, Patience: 100 * time.Millisecond,
-	})
+	blocker, err := condition.NewExplicit(4, 4, 1)
 	if err != nil {
-		return Report{ID: r.ID, Title: r.Title, Body: err.Error()}
+		return r.Fail(err)
 	}
-	fmt.Fprintf(&b, "%-28s %-10d %-10s %-8d (expected: all blocked)\n",
-		"I∉C, unmatchable views", len(out.Decisions), out.DistinctDecisions().String(), len(out.Undecided))
-	if len(out.Decisions) != 0 || len(out.Undecided) != 4 {
-		r.OK = false
+	if err := blocker.Add(vector.OfInts(1, 1, 2, 3), vector.SetOf(1)); err != nil {
+		return r.Fail(err)
 	}
-	b.WriteString("\n(the asynchronous algorithm terminates iff the condition can still hold —\n")
-	b.WriteString(" the executable face of the ℓ ≤ x impossibility and of Theorems 8/9)\n")
-	r.Body = b.String()
+	bp := core.Params{N: 4, T: 1, K: 1, D: 0, L: 1} // x = 1
+	bSys, err := kset.New(kset.WithParams(bp), kset.WithCondition(blocker),
+		kset.WithExecutor(kset.Asynchronous), kset.WithAsyncPatience(100*time.Millisecond))
+	if err != nil {
+		return r.Fail(err)
+	}
+	bRes, err := bSys.RunScenario(ctx, kset.Scenario{Input: vector.OfInts(2, 2, 3, 1), Seed: 5})
+	if err != nil {
+		return r.Fail(err)
+	}
+	r.Check(len(bRes.Decisions) == 0)
+	tbl.Row("I∉C, unmatchable views", fmt.Sprint(len(bRes.Decisions)),
+		bRes.DistinctDecisions().String(), fmt.Sprint(4-len(bRes.Decisions)))
+	sec.Note("(the asynchronous algorithm terminates iff the condition can still hold —")
+	sec.Note(" the executable face of the ℓ ≤ x impossibility and of Theorems 8/9)")
 	return r
-}
-
-// All runs every experiment with its default configuration.
-func All() []Report {
-	return []Report{
-		E1Lattice(4, 3, 2, 3),
-		E2Table1(),
-		E3Counting(8, 4, 3),
-		E4Bounds(),
-		E5Tradeoff(),
-		E6Dividing(),
-		E7Early(),
-		E8Baseline(),
-		E9Tightness(),
-		E10Async(),
-	}
 }

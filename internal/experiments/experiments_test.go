@@ -1,45 +1,124 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
 // TestAllExperimentsVerify runs the full suite: every report must come back
-// with every checked claim holding.
+// with every checked claim holding, sections populated, and a JSON
+// encoding that round-trips the identity fields.
 func TestAllExperimentsVerify(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment suite")
 	}
-	for _, r := range All() {
+	reports := All()
+	if want := len(Registry()); len(reports) != want {
+		t.Fatalf("All returned %d reports, registry has %d", len(reports), want)
+	}
+	for _, r := range reports {
 		if !r.OK {
-			t.Errorf("%s (%s) failed:\n%s", r.ID, r.Title, r.Body)
+			t.Errorf("%s (%s) failed:\n%s", r.ID, r.Title, r.String())
 		}
-		if r.Body == "" {
-			t.Errorf("%s produced no body", r.ID)
+		if len(r.Sections) == 0 {
+			t.Errorf("%s produced no sections", r.ID)
 		}
 		if !strings.Contains(r.String(), r.ID) {
 			t.Errorf("%s: String() lacks the id", r.ID)
 		}
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", r.ID, err)
+		}
+		var back Report
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", r.ID, err)
+		}
+		if back.ID != r.ID || back.Title != r.Title || back.OK != r.OK ||
+			len(back.Sections) != len(r.Sections) {
+			t.Errorf("%s: JSON round-trip mutated the report", r.ID)
+		}
 	}
 }
 
-func TestReportString(t *testing.T) {
-	ok := Report{ID: "EX", Title: "t", Body: "b", OK: true}
-	if !strings.Contains(ok.String(), "VERIFIED") {
-		t.Error("want VERIFIED marker")
+// TestRegistryShape pins the registry's identity invariants: stable E1..E10
+// order, unique IDs, resolvable lookups, runnable specs.
+func TestRegistryShape(t *testing.T) {
+	specs := Registry()
+	if len(specs) != 10 {
+		t.Fatalf("registry has %d specs, want 10", len(specs))
 	}
-	bad := Report{ID: "EX", Title: "t", Body: "b"}
+	seen := make(map[string]bool)
+	for i, s := range specs {
+		if want := "E" + string(rune('1'+i)); i < 9 && s.ID != want {
+			t.Errorf("spec %d has ID %s, want %s", i, s.ID, want)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate ID %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Title == "" || s.Paper == "" || s.Run == nil {
+			t.Errorf("%s: incomplete spec %+v", s.ID, s)
+		}
+		got, ok := Lookup(s.ID)
+		if !ok || got.Title != s.Title {
+			t.Errorf("Lookup(%s) = %+v, %v", s.ID, got, ok)
+		}
+	}
+	if specs[9].ID != "E10" {
+		t.Errorf("last spec is %s, want E10", specs[9].ID)
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("Lookup(E99) unexpectedly succeeded")
+	}
+}
+
+// TestRunSelection checks the id-list execution path.
+func TestRunSelection(t *testing.T) {
+	reports, err := Run([]string{"E2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 1 || reports[0].ID != "E2" {
+		t.Fatalf("Run([E2]) = %v", reports)
+	}
+	if _, err := Run([]string{"E2", "nope"}); err == nil {
+		t.Error("Run with unknown id must error")
+	}
+}
+
+// TestReportString pins the status markers and table rendering.
+func TestReportString(t *testing.T) {
+	ok := Report{ID: "EX", Title: "t", OK: true}
+	s := ok.Section("demo")
+	tbl := s.AddTable("col-a", "b")
+	tbl.Row("1", "2")
+	s.Note("a note")
+	text := ok.String()
+	for _, want := range []string{"VERIFIED", "col-a", "a note", "-- demo"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() lacks %q:\n%s", want, text)
+		}
+	}
+	bad := Report{ID: "EX", Title: "t"}
 	if !strings.Contains(bad.String(), "FAILED") {
 		t.Error("want FAILED marker")
 	}
 }
 
 // TestExperimentConfigErrors exercises the error paths of parameterized
-// experiments.
+// experiments: a bad grid must fail the report, not panic.
 func TestExperimentConfigErrors(t *testing.T) {
-	r := E1Lattice(3, 2, 5, 2) // xMax ≥ n
+	spec, ok := Lookup("E1")
+	if !ok {
+		t.Fatal("E1 missing")
+	}
+	r := spec.Run(spec.Defaults.With(Params{"n": 3, "m": 2, "xmax": 5})) // xMax ≥ n
 	if r.OK {
 		t.Error("E1 with bad grid must not verify")
+	}
+	if r.Params["xmax"] != 5 {
+		t.Errorf("report params = %v, want the override echoed", r.Params)
 	}
 }

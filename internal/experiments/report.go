@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one experiment's structured output: named sections of tables,
+// series and notes instead of preformatted strings. Reports are
+// JSON-marshalable with deterministic byte output (cell values are
+// pre-formatted strings, so float rendering is fixed at build time), which
+// is what lets CI diff two runs structurally; String renders the same
+// structure as the human-readable text the CLI prints.
+type Report struct {
+	// ID is the experiment identifier ("E1".."E10", or a consumer-chosen
+	// tag for ad-hoc reports like the CLI's campaign mode).
+	ID string `json:"id"`
+	// Title describes the paper artifact reproduced.
+	Title string `json:"title"`
+	// Paper anchors the report to the paper ("§3, Theorems 4–9").
+	Paper string `json:"paper,omitempty"`
+	// Params echoes the parameters the experiment ran with.
+	Params Params `json:"params,omitempty"`
+	// OK reports whether every checked claim held.
+	OK bool `json:"ok"`
+	// Err carries a fatal setup or execution error; when set, OK is false
+	// and the sections may be incomplete.
+	Err string `json:"err,omitempty"`
+	// Sections are the report's named blocks, in presentation order.
+	Sections []*Section `json:"sections,omitempty"`
+}
+
+// Section is one named block of a report: an optional table, optional
+// series, and free-form note lines.
+type Section struct {
+	// Name labels the section ("scenarios", "random-sweep", …).
+	Name string `json:"name"`
+	// Table is the section's table, when it has one.
+	Table *Table `json:"table,omitempty"`
+	// Series are named numeric curves for machine consumers (plots,
+	// dashboards, regression diffs).
+	Series []Series `json:"series,omitempty"`
+	// Notes are free-form commentary lines (the "shape" remarks of the
+	// original reports).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Table is a named-column grid of pre-formatted cells.
+type Table struct {
+	// Columns are the header labels.
+	Columns []string `json:"columns"`
+	// Rows hold one cell per column, formatted for display.
+	Rows [][]string `json:"rows"`
+}
+
+// Series is one named numeric curve.
+type Series struct {
+	// Name labels the curve ("NB-fraction", "measured-rounds", …).
+	Name string `json:"name"`
+	// Points are the curve's (x, y) samples, in x order.
+	Points []Point `json:"points"`
+}
+
+// Point is one sample of a Series.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Section appends a new named section to the report and returns it for
+// population.
+func (r *Report) Section(name string) *Section {
+	s := &Section{Name: name}
+	r.Sections = append(r.Sections, s)
+	return s
+}
+
+// Check folds one verified claim into the report: a false ok clears
+// Report.OK. It returns ok so call sites can branch on the same value.
+func (r *Report) Check(ok bool) bool {
+	if !ok {
+		r.OK = false
+	}
+	return ok
+}
+
+// Fail records a fatal error: Err is set, OK cleared, and the report
+// returned for use as the experiment's result.
+func (r *Report) Fail(err error) Report {
+	r.Err = err.Error()
+	r.OK = false
+	return *r
+}
+
+// Failf is Fail with formatting.
+func (r *Report) Failf(format string, args ...any) Report {
+	r.Err = fmt.Sprintf(format, args...)
+	r.OK = false
+	return *r
+}
+
+// AddTable gives the section a table with the given columns and returns
+// it for row population.
+func (s *Section) AddTable(columns ...string) *Table {
+	s.Table = &Table{Columns: columns}
+	return s.Table
+}
+
+// AddSeries appends a named curve to the section and returns it so
+// callers can append points. The returned pointer is invalidated by a
+// later AddSeries on the same section; populate one curve at a time.
+func (s *Section) AddSeries(name string) *Series {
+	s.Series = append(s.Series, Series{Name: name})
+	return &s.Series[len(s.Series)-1]
+}
+
+// Note appends one formatted commentary line to the section.
+func (s *Section) Note(format string, args ...any) {
+	s.Notes = append(s.Notes, fmt.Sprintf(format, args...))
+}
+
+// NoteBlock appends a multi-line string (a rendered diagram, say) as one
+// note per line, dropping a trailing newline.
+func (s *Section) NoteBlock(text string) {
+	s.Notes = append(s.Notes, strings.Split(strings.TrimRight(text, "\n"), "\n")...)
+}
+
+// Row appends one row of pre-formatted cells to the table.
+func (t *Table) Row(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Add appends one (x, y) sample to the series.
+func (sr *Series) Add(x, y float64) {
+	sr.Points = append(sr.Points, Point{X: x, Y: y})
+}
+
+// WriteJSON writes v — a Report, a []Report, a []Spec, anything in the
+// report encoding — as indented JSON with a trailing newline: the one
+// emitter every -json CLI shares, so the byte format cannot drift
+// between tools.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// String renders the report as the human-readable text form: a status
+// header, then each section's table (column-aligned), series and notes.
+func (r Report) String() string {
+	var b strings.Builder
+	status := "VERIFIED"
+	if !r.OK {
+		status = "FAILED"
+	}
+	fmt.Fprintf(&b, "=== %s: %s [%s]\n", r.ID, r.Title, status)
+	if r.Err != "" {
+		fmt.Fprintf(&b, "error: %s\n", r.Err)
+	}
+	for _, s := range r.Sections {
+		fmt.Fprintf(&b, "-- %s\n", s.Name)
+		if s.Table != nil {
+			renderTable(&b, s.Table)
+		}
+		for _, sr := range s.Series {
+			fmt.Fprintf(&b, "series %s:", sr.Name)
+			for _, pt := range sr.Points {
+				fmt.Fprintf(&b, " (%g, %g)", pt.X, pt.Y)
+			}
+			b.WriteByte('\n')
+		}
+		for _, n := range s.Notes {
+			b.WriteString(n)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// renderTable writes the table with columns padded to their widest cell.
+func renderTable(b *strings.Builder, t *Table) {
+	width := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		width[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(width) && len([]rune(cell)) > width[i] {
+				width[i] = len([]rune(cell))
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				for pad := len([]rune(cell)); pad < width[i]; pad++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}

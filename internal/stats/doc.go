@@ -1,0 +1,33 @@
+// Package stats is the results plane of the library: mergeable,
+// worker-shardable metric accumulators that every execution layer feeds
+// and every consumer reads in machine-readable form.
+//
+// The unit of measurement is the Observation — one flat record per
+// agreement run (decision round, messages delivered, crashes, condition
+// membership, verdict). Runs emit Observations, a Collector receives
+// them, and the Accumulator is the canonical collector: a bounded
+// decision-round histogram with an overflow bucket, run/error/violation
+// counters, min/mean/max summaries and per-executor, per-crash-count and
+// per-label breakdowns.
+//
+// Two invariants shape the package:
+//
+//   - The observe hot path allocates nothing. The histogram is a fixed
+//     array (rounds past its bound land in an exact overflow summary, so
+//     aggregate accessors never lose precision), summaries are plain
+//     integer folds, and the breakdown maps only allocate when a key is
+//     first seen — amortized zero across a sweep.
+//
+//   - Merging is deterministic and order-insensitive. Every field is a
+//     sum, a min or a max, so folding worker shards in any grouping or
+//     order yields identical totals: campaign statistics are invariant
+//     under worker count and scheduling, and a sharded sweep can be
+//     reproduced byte-for-byte from the same seed.
+//
+// Paper map: the accumulator aggregates exactly the quantities the
+// paper's evaluation reads off executions — decision rounds against the
+// Theorem-10 bounds and the ⌊(d+ℓ−1)/k⌋+1 / ⌊t/k⌋+1 claims (§6, §8),
+// message counts for the baseline comparison, condition-hit rates for
+// the §5 size/speed trade-off, and specification verdicts for the
+// exhaustive §6.2 safety sweeps.
+package stats

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// randObservation draws one observation from a seeded distribution that
+// exercises every field, including errors and overflow rounds.
+func randObservation(r *rand.Rand) Observation {
+	o := Observation{
+		Round:    r.Intn(HistogramBuckets + 8), // some past the bound
+		Messages: int64(r.Intn(500)),
+		Crashes:  r.Intn(5),
+		Decided:  r.Intn(9),
+		Executor: []string{"figure2", "early", "classical", ""}[r.Intn(4)],
+		Label:    []string{"inC", "outC", ""}[r.Intn(3)],
+	}
+	o.InCondition = r.Intn(2) == 0
+	if r.Intn(8) == 0 {
+		o.Err = true
+	}
+	if r.Intn(2) == 0 {
+		o.Verified = true
+		o.Violation = r.Intn(16) == 0
+	}
+	return o
+}
+
+// marshal renders an accumulator as canonical JSON for byte comparison.
+func marshal(t *testing.T, a *Accumulator) string {
+	t.Helper()
+	b, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMergeAssociative folds the same observation stream through many
+// random shard groupings and merge orders: every grouping must produce a
+// byte-identical accumulator. This is the invariant that makes campaign
+// statistics independent of worker count and scheduling.
+func TestMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	obs := make([]Observation, 4096)
+	for i := range obs {
+		obs[i] = randObservation(r)
+	}
+
+	sequential := &Accumulator{}
+	for _, o := range obs {
+		sequential.Observe(o)
+	}
+	want := marshal(t, sequential)
+
+	for trial := 0; trial < 20; trial++ {
+		shards := make([]*Accumulator, 1+r.Intn(16))
+		for i := range shards {
+			shards[i] = NewAccumulator()
+		}
+		// Random shard assignment (order within a shard preserved —
+		// observe order must not matter either way).
+		for _, o := range obs {
+			shards[r.Intn(len(shards))].Observe(o)
+		}
+		// Random merge tree: repeatedly merge one shard into another
+		// until one remains.
+		for len(shards) > 1 {
+			i := r.Intn(len(shards))
+			j := r.Intn(len(shards) - 1)
+			if j >= i {
+				j++
+			}
+			shards[i].Merge(shards[j])
+			shards = append(shards[:j], shards[j+1:]...)
+		}
+		if got := marshal(t, shards[0]); got != want {
+			t.Fatalf("trial %d: sharded merge diverged from sequential fold\ngot:  %s\nwant: %s", trial, got, want)
+		}
+	}
+}
+
+// TestAccumulatorCounters pins the counter semantics on a hand-built
+// stream.
+func TestAccumulatorCounters(t *testing.T) {
+	a := NewAccumulator()
+	a.Observe(Observation{Round: 2, Messages: 10, Crashes: 1, InCondition: true, Verified: true, Executor: "figure2", Label: "x"})
+	a.Observe(Observation{Round: 3, Messages: 30, Crashes: 0, Verified: true, Violation: true, Executor: "figure2"})
+	a.Observe(Observation{Err: true, Executor: "early"})
+	a.Observe(Observation{Round: 0, Messages: 2, Crashes: 2}) // nobody decided
+
+	if a.Runs != 4 || a.Errors != 1 || a.ConditionHits != 1 || a.Verified != 2 || a.Violations != 1 {
+		t.Fatalf("counters: %+v", a)
+	}
+	if got := a.MessagesDelivered(); got != 42 {
+		t.Errorf("MessagesDelivered = %d, want 42", got)
+	}
+	if a.Messages.Min != 2 || a.Messages.Max != 30 || a.Messages.Mean() != 14 {
+		t.Errorf("message summary: %+v", a.Messages)
+	}
+	if a.MaxDecisionRound() != 3 {
+		t.Errorf("MaxDecisionRound = %d, want 3", a.MaxDecisionRound())
+	}
+	if a.MeanDecisionRound() != 2.5 {
+		t.Errorf("MeanDecisionRound = %v, want 2.5", a.MeanDecisionRound())
+	}
+	if got := a.DecisionRounds(); len(got) != 4 || got[0] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Errorf("DecisionRounds = %v", got)
+	}
+	if a.HitRate() != 0.25 {
+		t.Errorf("HitRate = %v, want 0.25", a.HitRate())
+	}
+	if got := a.ExecutorKeys(); len(got) != 2 || got[0] != "early" || got[1] != "figure2" {
+		t.Errorf("ExecutorKeys = %v", got)
+	}
+	if g := a.ByExecutor["figure2"]; g.Runs != 2 || g.Violations != 1 || g.Rounds.Max != 3 {
+		t.Errorf("figure2 group: %+v", g)
+	}
+	if g := a.ByExecutor["early"]; g.Runs != 1 || g.Errors != 1 {
+		t.Errorf("early group: %+v", g)
+	}
+	if got := a.LabelKeys(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("LabelKeys = %v", got)
+	}
+	if got := a.CrashKeys(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("CrashKeys = %v", got)
+	}
+}
+
+// TestHistogramOverflow checks that rounds past the bucket bound keep
+// exact count, mean and max through the overflow summary.
+func TestHistogramOverflow(t *testing.T) {
+	var h Histogram
+	h.Observe(2)
+	h.Observe(HistogramBuckets + 10)
+	h.Observe(HistogramBuckets + 20)
+	if h.Decided() != 3 {
+		t.Errorf("Decided = %d, want 3", h.Decided())
+	}
+	if want := HistogramBuckets + 20; h.Max() != want {
+		t.Errorf("Max = %d, want %d", h.Max(), want)
+	}
+	if want := float64(2+HistogramBuckets+10+HistogramBuckets+20) / 3; h.Mean() != want {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+	if got := h.Slice(); len(got) != 3 || got[2] != 1 {
+		t.Errorf("Slice = %v", got)
+	}
+	var other Histogram
+	other.Observe(HistogramBuckets + 30)
+	h.Merge(&other)
+	if h.Overflow.Count != 3 || h.Overflow.Max != int64(HistogramBuckets+30) {
+		t.Errorf("merged overflow: %+v", h.Overflow)
+	}
+}
+
+// TestObserveAllocFree pins the zero-alloc observe hot path: once the
+// breakdown keys are warm, folding an observation allocates nothing.
+func TestObserveAllocFree(t *testing.T) {
+	a := NewAccumulator()
+	o := Observation{Round: 2, Messages: 64, Crashes: 1, InCondition: true,
+		Verified: true, Executor: "figure2", Label: "steady"}
+	a.Observe(o) // warm the breakdown keys
+	if got := testing.AllocsPerRun(200, func() {
+		a.Observe(o)
+	}); got != 0 {
+		t.Errorf("Observe allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestReset clears totals while keeping the accumulator usable.
+func TestReset(t *testing.T) {
+	a := NewAccumulator()
+	a.Observe(Observation{Round: 1, Executor: "figure2"})
+	a.Reset()
+	if a.Runs != 0 || len(a.ByExecutor) != 0 {
+		t.Fatalf("after Reset: %+v", a)
+	}
+	a.Observe(Observation{Round: 1, Executor: "figure2"})
+	if a.Runs != 1 || a.ByExecutor["figure2"].Runs != 1 {
+		t.Fatalf("post-Reset observe: %+v", a)
+	}
+}

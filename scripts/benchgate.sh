@@ -17,13 +17,18 @@ cd "$(dirname "$0")/.."
 # maximum allowed allocs/op at the short benchtime above. Values carry
 # headroom over the measured steady state (864 / 9 / ~2 at PR 4) while
 # sitting far below the pre-compiled-condition costs (47906 / 5129 / 50).
+# CollectorPath runs one fixed 512-scenario stats-only campaign per op
+# through the full results-plane pipeline (Observation → collector shards
+# → deterministic join): its budget holds the collector observe path at
+# ≤ 1 alloc/run (measured: 556 for 512 runs + campaign setup at PR 5).
 budgets='
 BenchmarkE1Lattice 2400
 BenchmarkE9Adversary 400
 BenchmarkCampaignThroughput/campaign 4
+BenchmarkCollectorPath 700
 '
 
-raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign' \
+raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$' \
 	-benchmem -benchtime "$benchtime" -count 1 .)"
 printf '%s\n' "$raw"
 

@@ -24,11 +24,14 @@ type SweepPoint struct {
 // SweepResult is one grid point's aggregate outcome.
 type SweepResult struct {
 	// Key is the point's key, as given.
-	Key string
+	Key string `json:"key"`
 	// Params echoes the point's validated problem parameters.
-	Params Params
-	// Stats aggregates the point's campaign.
-	Stats *CampaignStats
+	Params Params `json:"params"`
+	// Stats aggregates the point's campaign. Each point runs its own
+	// campaign with its own results-plane accumulator, so Stats.Metrics
+	// is keyed per grid point; a CollectInto option passed to RunSweep,
+	// by contrast, accumulates across the whole grid.
+	Stats *CampaignStats `json:"stats"`
 }
 
 // RunSweep runs one campaign per grid point — the trade-off-curve driver:
