@@ -2,6 +2,7 @@ package kset
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -81,6 +82,12 @@ type CampaignStats struct {
 	// Violations counts verified runs that failed the k-set agreement
 	// specification (only populated under VerifyRuns).
 	Violations int64 `json:"violations"`
+	// UndecidedRuns counts synchronous runs some process of which neither
+	// decided nor crashed within the round limit — possible only under a
+	// fault-injecting transport (reliable synchronous runs always
+	// terminate), so non-termination under faults is a counted outcome,
+	// never a hang.
+	UndecidedRuns int64 `json:"undecided_runs,omitempty"`
 	// MessagesDelivered sums delivered messages across all runs.
 	MessagesDelivered int64 `json:"messages_delivered"`
 	// DecisionRounds is the histogram of latest decision rounds:
@@ -106,6 +113,7 @@ func newCampaignStats(acc *Accumulator) *CampaignStats {
 		Errors:            acc.Errors,
 		ConditionHits:     acc.ConditionHits,
 		Violations:        acc.Violations,
+		UndecidedRuns:     acc.UndecidedRuns,
 		MessagesDelivered: acc.MessagesDelivered(),
 		DecisionRounds:    acc.DecisionRounds(),
 		Metrics:           acc,
@@ -380,6 +388,19 @@ func (c *Campaign) Wait() (*CampaignStats, error) {
 	return c.stats, c.waitErr
 }
 
+// safeRun executes one scenario's run, converting an executor panic into
+// a per-run error: a poisoned scenario fails its own run (surfacing in
+// CampaignStats.Errors and the Outcome's Err) instead of killing the
+// worker goroutine and, with it, the process.
+func safeRun(ctx context.Context, ex Executor, s *System, w *worker, sc *Scenario, reuse *Result) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("kset: executor %s panicked: %v", ex.Name(), r)
+		}
+	}()
+	return ex.run(ctx, s, w, sc, reuse)
+}
+
 // worker is one campaign worker: it checks engine/protocol buffers out of
 // the shared pool once and runs scenarios until the queue closes or the
 // context is cancelled, folding each run's Observation into its own
@@ -426,7 +447,7 @@ func (c *Campaign) runOne(w *worker, shard []Collector, sc Scenario) {
 			}
 			reuse = w.res
 		}
-		res, err = ex.run(c.ctx, c.sys, w, &sc, reuse)
+		res, err = safeRun(c.ctx, ex, c.sys, w, &sc, reuse)
 	}
 	out := Outcome{Scenario: sc}
 	var o Observation
@@ -436,6 +457,16 @@ func (c *Campaign) runOne(w *worker, shard []Collector, sc Scenario) {
 	} else {
 		o = core.Observe(res)
 		o.InCondition = c.sys.cond != nil && c.sys.cond.Contains(sc.Input)
+		if ex.synchronous() {
+			// Decided and crashed are disjoint on synchronous runs (a
+			// process that crashes mid-send never reaches its compute
+			// phase), so the remainder is the processes the round limit
+			// left undecided — nonzero only under an injected-fault
+			// transport.
+			if u := len(sc.Input) - len(res.Decisions) - len(res.Crashed); u > 0 {
+				o.Undecided = u
+			}
+		}
 		if c.verify && ex.synchronous() {
 			v := Verify(sc.Input, sc.FP, res, c.sys.p.K)
 			o.Verified = true

@@ -1,5 +1,5 @@
 // Command experiments drives the declarative experiment registry: every
-// evaluation artifact of the paper (E1–E10) is a registered spec executed
+// evaluation artifact of the paper (E1–E11) is a registered spec executed
 // on the Campaign/Sweep/Exhaust infrastructure, producing a structured
 // report rendered as text or JSON. JSON reports are byte-deterministic
 // for a fixed registry, so CI diffs them structurally (see the golden
@@ -41,10 +41,10 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	only := fs.String("only", "", "run a comma-separated subset (E1..E10)")
+	only := fs.String("only", "", "run a comma-separated subset (E1..E11)")
 	list := fs.Bool("list", false, "list the registered experiments instead of running them")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of text")
-	campaign := fs.Bool("campaign", false, "run the campaign load sweep instead of E1..E10")
+	campaign := fs.Bool("campaign", false, "run the campaign load sweep instead of E1..E11")
 	runs := fs.Int("runs", 30000, "campaign: number of scenarios")
 	seed := fs.Int64("seed", 1, "campaign: random seed (same seed ⇒ same stats)")
 	workers := fs.Int("workers", 0, "campaign: worker count (0 = GOMAXPROCS)")

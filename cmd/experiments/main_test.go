@@ -14,7 +14,7 @@ var update = flag.Bool("update", false, "rewrite the golden file from this run")
 // byte-deterministic run to run: everything synchronous. E10 drives real
 // goroutine concurrency (the asynchronous algorithm), so its decided
 // values may vary with scheduling and it stays out of byte comparisons.
-const deterministicIDs = "E1,E2,E3,E4,E5,E6,E7,E8,E9"
+const deterministicIDs = "E1,E2,E3,E4,E5,E6,E7,E8,E9,E11"
 
 // runJSON executes the command's run() with -json over the deterministic
 // experiment set and returns the bytes it printed.

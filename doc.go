@@ -28,7 +28,12 @@
 //   - the condition-size counting functions NB(x,ℓ) (Theorems 3 and 13);
 //   - a scenario-generation subsystem (ScenarioSource, FailureFamily,
 //     Sweep) that constructs the scenario spaces the paper's quantitative
-//     claims are demonstrated on.
+//     claims are demonstrated on;
+//   - a fault-injection plane that goes beyond the paper's reliable-link
+//     model: deterministic seeded link adversaries (FaultPlan,
+//     WithFaultPlan, Scenario.Faults) that drop, delay, duplicate and
+//     reorder messages, with FaultFamily sweeps and undecided-run
+//     accounting for measuring how the algorithms degrade off-model.
 //
 // # Paper → package map
 //
@@ -43,6 +48,7 @@
 //	internal/core       §6,8  the Figure-2 algorithm, baseline, early deciding
 //	internal/rounds     §6.2  the synchronous round-based crash-prone model
 //	internal/adversary  §6.2  failure-pattern construction and enumeration
+//	internal/faultnet   —     the fault-injecting transport (beyond the model)
 //
 // # Quick start
 //
@@ -106,6 +112,28 @@
 // For trade-off curves across a parameter grid — the paper's d and f
 // sweeps — RunSweep runs one campaign per SweepPoint and returns keyed
 // stats; SweepDegrees, SweepFailures and SweepExecutors build the grids.
+//
+// # Fault injection
+//
+// The paper's model has reliable links: only processes fail, by
+// crashing. The fault plane deliberately steps outside it. A FaultPlan
+// describes a seeded link adversary — per-link loss, delay-by-rounds and
+// duplication rates, a reorder rate, scheduled per-copy faults — that
+// the synchronous executors inject between send and receive, composable
+// with any crash FailurePattern:
+//
+//	sys, _ := kset.New(kset.WithParams(p), kset.WithCondition(c),
+//		kset.WithFaultPlan(&kset.FaultPlan{Seed: 1, Default: kset.LinkFaults{Loss: 0.05}}))
+//
+// Scenario.Faults overrides the system plan per run; the asynchronous
+// executor ignores both. Fault draws are seeded per scenario (plan seed
+// × scenario seed × input), so lossy campaigns stay byte-reproducible at
+// any worker count. Runs always terminate within the model's round
+// bound: a process that loses every copy halts undecided, counted in
+// CampaignStats.UndecidedRuns rather than hanging or deciding ⊥.
+// FaultFamily sweeps (LossSweepFamily, DelaySweepFamily, StormFamily)
+// and the CrossFaults / FaultSchedules / SweepFaults generators cross
+// plans with scenario sources; see ExampleSweepFaults.
 //
 // The deeper machinery (exhaustive adversaries, the Section-3 lattice
 // harness, proofs-by-enumeration) lives in the internal packages and is

@@ -19,8 +19,11 @@ var (
 	// AgreeClassical free functions; the condition constructors
 	// NewMaxCondition, NewMinCondition, NewExplicitCondition (bad n, m, ℓ
 	// or x); the counting functions ConditionSize, ConditionFraction (bad
-	// n, m, ℓ or x out of 0 ≤ x < n); and AgreeAsync / Asynchronous runs
-	// (bad n, x, condition dimensions, or more crashes than x).
+	// n, m, ℓ or x out of 0 ≤ x < n); AgreeAsync / Asynchronous runs
+	// (bad n, x, condition dimensions, or more crashes than x); and the
+	// fault plane — New on an invalid WithFaultPlan plan, and runs whose
+	// Scenario.Faults plan fails validation (out-of-range rates, bad
+	// process IDs, scheduled delays without a delay bound).
 	ErrBadParams = kerr.ErrBadParams
 
 	// ErrDomainTooLarge marks a value domain beyond the 64-value cap of

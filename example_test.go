@@ -286,3 +286,34 @@ func ExampleRunSweep() {
 	// d=1: |C| = 970, decided in round 2
 	// d=2: |C| = 2440, decided in round 3
 }
+
+// ExampleSweepFaults expands one grid point along the fault axis — a
+// uniform-loss ramp — and runs one verified campaign per plan: the
+// robustness curve of the algorithm under link faults the paper's
+// reliable-link model excludes.
+func ExampleSweepFaults() {
+	p := kset.Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond, _ := kset.NewMaxCondition(p.N, 4, p.X(), p.L)
+
+	base := kset.SweepPoint{
+		Options: []kset.Option{kset.WithParams(p), kset.WithCondition(cond)},
+		Source:  kset.RandomInputs(7, p.N, 4, 50),
+	}
+	points := kset.SweepFaults(base, kset.LossSweepFamily(21, 3, 0.5))
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		lost := int64(0)
+		if ft := r.Stats.Metrics.Faults; ft != nil {
+			lost = ft.Lost.Sum
+		}
+		fmt.Printf("%s: runs %d, lost %d, violations %d, undecided runs %d\n",
+			r.Key, r.Stats.Runs, lost, r.Stats.Violations, r.Stats.UndecidedRuns)
+	}
+	// Output:
+	// loss=0: runs 50, lost 0, violations 0, undecided runs 0
+	// loss=1: runs 50, lost 939, violations 1, undecided runs 0
+	// loss=2: runs 50, lost 1775, violations 1, undecided runs 0
+}

@@ -1,0 +1,234 @@
+package kset_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"kset"
+)
+
+// stormPlan is a fault plan exercising every random fault kind at once.
+func stormPlan(seed int64) *kset.FaultPlan {
+	return &kset.FaultPlan{
+		Seed:    seed,
+		Default: kset.LinkFaults{Loss: 0.15, DelayProb: 0.2, MaxDelay: 2, Duplicate: 0.1},
+		Reorder: 0.25,
+	}
+}
+
+// TestFaultPlanEndToEnd drives a lossy plan through the full stack:
+// System option, per-run Result counters, campaign accumulator tallies
+// and the undecided-runs outcome, with no hangs and no panics.
+func TestFaultPlanEndToEnd(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)),
+		kset.WithFaultPlan(&kset.FaultPlan{Seed: 9, Default: kset.LinkFaults{Loss: 0.9}}))
+
+	res, err := sys.Run(context.Background(), kset.VectorOf(4, 4, 4, 2, 1, 2), kset.FailurePattern{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost == 0 {
+		t.Error("a 50% loss plan lost no copies")
+	}
+
+	stats, err := sys.RunSource(context.Background(),
+		kset.RandomInputs(11, p.N, 4, 60), kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 60 || stats.Errors != 0 {
+		t.Fatalf("runs=%d errors=%d", stats.Runs, stats.Errors)
+	}
+	ft := stats.Metrics.Faults
+	if ft == nil || ft.Lost.Sum == 0 {
+		t.Fatalf("campaign under a lossy plan recorded no fault tally: %+v", ft)
+	}
+	if stats.UndecidedRuns == 0 {
+		t.Error("90% loss on every link left every run fully decided (suspicious)")
+	}
+	if stats.UndecidedRuns != stats.Metrics.UndecidedRuns {
+		t.Errorf("flat UndecidedRuns %d != accumulator %d", stats.UndecidedRuns, stats.Metrics.UndecidedRuns)
+	}
+}
+
+// TestScenarioFaultsOverride: a scenario's plan overrides the system's,
+// and a fault-free system accepts per-scenario plans.
+func TestScenarioFaultsOverride(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)))
+	input := kset.VectorOf(4, 4, 4, 2, 1, 2)
+
+	res, err := sys.RunScenario(context.Background(), kset.Scenario{Input: input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 0 || res.Delayed != 0 || res.Duplicated != 0 {
+		t.Fatalf("fault-free run carries fault counters: %+v", res)
+	}
+	res, err = sys.RunScenario(context.Background(), kset.Scenario{
+		Input:  input,
+		Faults: &kset.FaultPlan{Seed: 2, Default: kset.LinkFaults{Loss: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesDelivered != 0 || res.Lost == 0 {
+		t.Fatalf("loss-everything scenario plan delivered %d, lost %d", res.MessagesDelivered, res.Lost)
+	}
+}
+
+// TestFaultPlanValidation: invalid plans are rejected with ErrBadParams —
+// at New for the system plan, per run for a scenario plan.
+func TestFaultPlanValidation(t *testing.T) {
+	p := testParams()
+	bad := &kset.FaultPlan{Default: kset.LinkFaults{Loss: 1.5}}
+	_, err := kset.New(kset.WithParams(p), kset.WithCondition(testCondition(t, p)), kset.WithFaultPlan(bad))
+	if !errors.Is(err, kset.ErrBadParams) {
+		t.Errorf("New with a bad plan: %v, want ErrBadParams", err)
+	}
+
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)))
+	_, err = sys.RunScenario(context.Background(), kset.Scenario{
+		Input:  kset.VectorOf(4, 4, 4, 2, 1, 2),
+		Faults: bad,
+	})
+	if !errors.Is(err, kset.ErrBadParams) {
+		t.Errorf("RunScenario with a bad plan: %v, want ErrBadParams", err)
+	}
+	// A plan naming a process outside 1..n fails against this system.
+	oob := &kset.FaultPlan{Scheduled: []kset.ScheduledFault{{Round: 1, From: 1, To: kset.ProcessID(p.N + 1), Kind: kset.FaultDrop}}}
+	_, err = sys.RunScenario(context.Background(), kset.Scenario{
+		Input:  kset.VectorOf(4, 4, 4, 2, 1, 2),
+		Faults: oob,
+	})
+	if !errors.Is(err, kset.ErrBadParams) {
+		t.Errorf("RunScenario with an out-of-range link: %v, want ErrBadParams", err)
+	}
+}
+
+// TestLossyCampaignWorkerCountInvariance extends the results-plane
+// determinism gate to the fault plane: under a lossy, delaying,
+// duplicating, reordering transport the same seed and source must still
+// produce byte-identical JSON — flat stats, fault tallies, undecided
+// counts — for workers ∈ {1, 4, 16}, because fault draws are seeded per
+// scenario, never per worker.
+func TestLossyCampaignWorkerCountInvariance(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	const seed = 29
+
+	source := func() kset.ScenarioSource {
+		return kset.FaultSchedules(
+			kset.CrossExecutors(
+				kset.FailureSchedules(
+					kset.RandomInputs(seed, p.N, 4, 40),
+					kset.RandomCrashFamily(seed+1, p.N, p.T, p.RMax(), 3),
+				),
+				kset.Figure2, kset.EarlyDeciding, kset.Classical,
+			),
+			kset.FaultPlansOf(nil, stormPlan(seed+2)),
+		)
+	}
+	report := func(workers int) []byte {
+		sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond), kset.WithWorkers(workers))
+		stats, err := sys.RunSource(context.Background(), source(), kset.VerifyRuns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(40 * 3 * 3 * 2); stats.Runs != want || stats.Errors != 0 {
+			t.Fatalf("workers=%d: runs=%d (want %d) errors=%d", workers, stats.Runs, want, stats.Errors)
+		}
+		if stats.Metrics.Faults == nil {
+			t.Fatalf("workers=%d: no fault tally under a storm plan", workers)
+		}
+		raw, err := json.Marshal(stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	first := report(1)
+	for _, workers := range []int{4, 16} {
+		if got := report(workers); string(got) != string(first) {
+			t.Fatalf("lossy JSON report diverged between workers=1 and workers=%d:\n%s\nvs\n%s",
+				workers, first, got)
+		}
+	}
+}
+
+// TestFaultGenerators pins the generator combinators: sizes, plan
+// pointer stability across FaultSchedules iterations, and SweepFaults
+// keys.
+func TestFaultGenerators(t *testing.T) {
+	inputs := kset.Inputs(kset.VectorOf(1, 1, 1, 1, 1, 1), kset.VectorOf(2, 2, 2, 2, 2, 2))
+
+	crossed := kset.CrossFaults(inputs, nil, kset.UniformLoss(1, 0.5))
+	if n, ok := crossed.Size(); !ok || n != 4 {
+		t.Errorf("CrossFaults size = %d, %v, want 4", n, ok)
+	}
+	var plans []*kset.FaultPlan
+	crossed.ForEach(func(sc kset.Scenario) bool {
+		plans = append(plans, sc.Faults)
+		return true
+	})
+	if len(plans) != 4 || plans[0] != nil || plans[1] == nil || plans[1] != plans[3] {
+		t.Errorf("CrossFaults plan sequence wrong: %v", plans)
+	}
+
+	fam := kset.LossSweepFamily(7, 3, 0.3)
+	sched := kset.FaultSchedules(inputs, fam)
+	if n, ok := sched.Size(); !ok || n != 6 {
+		t.Errorf("FaultSchedules size = %d, %v, want 6", n, ok)
+	}
+	plans = plans[:0]
+	sched.ForEach(func(sc kset.Scenario) bool {
+		plans = append(plans, sc.Faults)
+		return true
+	})
+	// One materialization per iteration: both inputs share plan pointers.
+	if len(plans) != 6 || plans[0] != plans[3] || plans[2] != plans[5] {
+		t.Errorf("FaultSchedules must materialize the family once per iteration")
+	}
+	if !plans[0].Zero() {
+		t.Error("loss sweep index 0 must be fault-free")
+	}
+	if plans[2].Default.Loss != 0.3 {
+		t.Errorf("loss sweep last index rate = %v, want 0.3", plans[2].Default.Loss)
+	}
+
+	points := kset.SweepFaults(kset.SweepPoint{Key: "base", Source: inputs}, kset.DelaySweepFamily(3, 3, 0.5))
+	if len(points) != 3 || points[0].Key != "base/delay=0" || points[2].Key != "base/delay=2" {
+		t.Fatalf("SweepFaults keys wrong: %+v", points)
+	}
+	if n, ok := points[1].Source.Size(); !ok || n != 2 {
+		t.Errorf("SweepFaults point source size = %d, %v, want 2", n, ok)
+	}
+
+	storm := kset.StormFamily(5, 4, 2, 0.4)
+	if storm.Size() != 4 || !storm.Plan(0).Zero() || storm.Plan(3).Reorder != 0.4 {
+		t.Errorf("StormFamily shape wrong: %+v", storm.Plan(3))
+	}
+}
+
+// TestAsyncIgnoresFaults: the asynchronous executor has no synchronous
+// transport; a fault plan must be silently inapplicable, not an error.
+func TestAsyncIgnoresFaults(t *testing.T) {
+	p := testParams()
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(testCondition(t, p)),
+		kset.WithExecutor(kset.Asynchronous),
+		kset.WithFaultPlan(&kset.FaultPlan{Default: kset.LinkFaults{Loss: 1}}))
+	res, err := sys.Run(context.Background(), kset.VectorOf(4, 4, 4, 2, 1, 2), kset.FailurePattern{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) == 0 {
+		t.Error("async run under an (ignored) loss-everything plan decided nothing")
+	}
+	if res.Lost != 0 {
+		t.Errorf("async run reports %d lost copies, want 0", res.Lost)
+	}
+}

@@ -16,4 +16,9 @@
 //   - exhaustive enumeration of every prefix-send crash pattern
 //     (Enumerate, EnumerateWithOrders) for model checking small
 //     configurations, with Count to budget the pattern space first.
+//
+// Beyond the paper's crash-only model, the package also builds the link
+// adversary: deterministic indexed FaultFamily values over faultnet
+// plans (LossSweep, DelaySweep, Storm) — the fault-plane counterpart of
+// Family, feeding the root package's fault generators and sweeps.
 package adversary

@@ -43,11 +43,10 @@ func (c *ClassicalProcess) Send(int) any { return c.est }
 
 // Step implements rounds.Process.
 func (c *ClassicalProcess) Step(round int, recv []any) (vector.Value, bool) {
+	// Non-Value payloads (possible only under a fault-injecting transport
+	// mixing in stale copies) are discarded.
 	for _, payload := range recv {
-		if payload == nil {
-			continue
-		}
-		if v := payload.(vector.Value); v > c.est {
+		if v, ok := payload.(vector.Value); ok && v > c.est {
 			c.est = v
 		}
 	}
@@ -63,7 +62,7 @@ func RunClassical(n, t, k int, input vector.Vector, fp rounds.FailurePattern, co
 		return nil, err
 	}
 	r := GetRunner()
-	res, err := r.RunClassical(n, t, k, input, fp, concurrent, nil)
+	res, err := r.RunClassical(n, t, k, input, fp, concurrent, nil, nil)
 	PutRunner(r)
 	return res, err
 }

@@ -49,6 +49,16 @@ type EarlyMsg struct {
 	Flag bool
 }
 
+// Freeze implements rounds.Freezer: the wrapper is a value, but its
+// Payload may point into the sender's reused buffer, so a transport
+// retaining the message past its round freezes recursively.
+func (m EarlyMsg) Freeze() any {
+	if fz, ok := m.Payload.(rounds.Freezer); ok {
+		m.Payload = fz.Freeze()
+	}
+	return m
+}
+
 // earlyTracker holds the shared flag bookkeeping.
 type earlyTracker struct {
 	n, k      int
@@ -76,7 +86,10 @@ func (e *earlyTracker) observe(round int, recv []any) bool {
 			}
 			continue
 		}
-		if payload.(EarlyMsg).Flag {
+		// A non-EarlyMsg payload (a stale copy from a fault-injecting
+		// transport) still proves the sender alive; it just carries no
+		// flag.
+		if m, ok := payload.(EarlyMsg); ok && m.Flag {
 			e.flagged[i+1] = true
 			e.flag = true // relay next round, then decide
 		}
@@ -135,8 +148,8 @@ func (e *EarlyCondProcess) Step(round int, recv []any) (vector.Value, bool) {
 	}
 	unwrapped := e.unwrapped[:len(recv)]
 	for i, payload := range recv {
-		if payload != nil {
-			unwrapped[i] = payload.(EarlyMsg).Payload
+		if m, ok := payload.(EarlyMsg); ok {
+			unwrapped[i] = m.Payload
 		} else {
 			unwrapped[i] = nil
 		}
@@ -156,11 +169,15 @@ func (e *EarlyCondProcess) Step(round int, recv []any) (vector.Value, bool) {
 		// Early decision with the algorithm's priority, on the state as
 		// sent (so the decided state was relayed to everyone this round;
 		// sent.Cond is ⊥ here, otherwise line 14 decided above). At least
-		// one branch variable is non-⊥ from round 1 on.
+		// one branch variable is non-⊥ from round 1 on under reliable
+		// links; an all-⊥ state (total message loss) has nothing to
+		// decide and falls through undecided.
 		if sent.Tmf != vector.Bottom {
 			return sent.Tmf, true
 		}
-		return sent.Out, true
+		if sent.Out != vector.Bottom {
+			return sent.Out, true
+		}
 	}
 	stable := sent == StateMsg{Cond: e.inner.vCond, Out: e.inner.vOut, Tmf: e.inner.vTmf}
 	e.early.raise(stable)
@@ -174,7 +191,7 @@ func RunEarly(p Params, c condition.Condition, input vector.Vector, fp rounds.Fa
 		return nil, err
 	}
 	r := GetRunner()
-	res, err := r.RunEarly(p, c, input, fp, concurrent, nil)
+	res, err := r.RunEarly(p, c, input, fp, concurrent, nil, nil)
 	PutRunner(r)
 	return res, err
 }
@@ -218,10 +235,11 @@ func (e *EarlyClassicalProcess) Send(int) any {
 func (e *EarlyClassicalProcess) Step(round int, recv []any) (vector.Value, bool) {
 	decideNow := e.early.observe(round, recv)
 	for _, payload := range recv {
-		if payload == nil {
+		m, ok := payload.(EarlyMsg)
+		if !ok {
 			continue
 		}
-		if v := payload.(EarlyMsg).Payload.(vector.Value); v > e.est {
+		if v, ok := m.Payload.(vector.Value); ok && v > e.est {
 			e.est = v
 		}
 	}

@@ -80,8 +80,10 @@ func (r *Runner) earlyState(n int) {
 
 // RunCond executes one Figure-2 condition-based run. The caller has
 // already validated p against c (Params.ValidateWith); only the input
-// vector is checked. res, when non-nil, is cleared and reused.
-func (r *Runner) RunCond(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool, res *rounds.Result) (*rounds.Result, error) {
+// vector is checked. res, when non-nil, is cleared and reused. tr, when
+// non-nil, overrides the engine's message transport (fault injection —
+// see internal/faultnet); nil is the reliable delivery matrix.
+func (r *Runner) RunCond(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool, tr rounds.Transport, res *rounds.Result) (*rounds.Result, error) {
 	if err := ValidateInput(p.N, input); err != nil {
 		return nil, err
 	}
@@ -90,12 +92,12 @@ func (r *Runner) RunCond(p Params, c condition.Condition, input vector.Vector, f
 		r.cells[i] = newCondProcess(p, c, input, i, r.views[i*p.N:(i+1)*p.N])
 		r.procs[i] = &r.cells[i]
 	}
-	return r.eng.RunInto(res, r.procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
+	return r.eng.RunInto(res, r.procs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent, Transport: tr})
 }
 
 // RunEarly executes one early-deciding condition-based run under the same
 // contract as RunCond.
-func (r *Runner) RunEarly(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool, res *rounds.Result) (*rounds.Result, error) {
+func (r *Runner) RunEarly(p Params, c condition.Condition, input vector.Vector, fp rounds.FailurePattern, concurrent bool, tr rounds.Transport, res *rounds.Result) (*rounds.Result, error) {
 	if err := ValidateInput(p.N, input); err != nil {
 		return nil, err
 	}
@@ -106,12 +108,12 @@ func (r *Runner) RunEarly(p Params, c condition.Condition, input vector.Vector, 
 		r.ecells[i] = EarlyCondProcess{inner: &r.einner[i], early: &r.etrk[i], unwrapped: r.ecells[i].unwrapped}
 		r.eprocs[i] = &r.ecells[i]
 	}
-	return r.eng.RunInto(res, r.eprocs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent})
+	return r.eng.RunInto(res, r.eprocs, fp, rounds.Options{MaxRounds: p.RMax(), Concurrent: concurrent, Transport: tr})
 }
 
 // RunClassical executes one classical flood run. The caller has already
 // validated (n, t, k) via ValidateClassical; only the input is checked.
-func (r *Runner) RunClassical(n, t, k int, input vector.Vector, fp rounds.FailurePattern, concurrent bool, res *rounds.Result) (*rounds.Result, error) {
+func (r *Runner) RunClassical(n, t, k int, input vector.Vector, fp rounds.FailurePattern, concurrent bool, tr rounds.Transport, res *rounds.Result) (*rounds.Result, error) {
 	if err := ValidateInput(n, input); err != nil {
 		return nil, err
 	}
@@ -125,7 +127,7 @@ func (r *Runner) RunClassical(n, t, k int, input vector.Vector, fp rounds.Failur
 		r.ccells[i] = ClassicalProcess{n: n, t: t, k: k, est: input[i], lastRound: t/k + 1}
 		r.cprocs[i] = &r.ccells[i]
 	}
-	return r.eng.RunInto(res, r.cprocs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent})
+	return r.eng.RunInto(res, r.cprocs, fp, rounds.Options{MaxRounds: t/k + 1, Concurrent: concurrent, Transport: tr})
 }
 
 // runnerPool shares Runners across the package's one-shot Run helpers, so

@@ -14,9 +14,12 @@ import (
 // retaining it, so it composes with recycled Results (RunInto, Exhaust).
 func Observe(res *rounds.Result) stats.Observation {
 	return stats.Observation{
-		Round:    res.MaxDecisionRound(),
-		Messages: res.MessagesDelivered,
-		Crashes:  len(res.Crashed),
-		Decided:  len(res.Decisions),
+		Round:      res.MaxDecisionRound(),
+		Messages:   res.MessagesDelivered,
+		Crashes:    len(res.Crashed),
+		Decided:    len(res.Decisions),
+		Lost:       res.Lost,
+		Delayed:    res.Delayed,
+		Duplicated: res.Duplicated,
 	}
 }

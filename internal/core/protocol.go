@@ -38,8 +38,17 @@ type CondProcess struct {
 	// msg is the reusable flood payload: Send repopulates it and hands out
 	// its address, so a round's broadcast costs no allocation. The engine's
 	// lock-step structure (all sends of a round complete before any step
-	// reads them) makes the reuse safe.
+	// reads them) makes the reuse safe; a transport that retains the
+	// payload past its round copies it first (StateMsg.Freeze).
 	msg StateMsg
+}
+
+// Freeze implements rounds.Freezer: a transport delaying or duplicating
+// the flood payload past its send round retains this copy instead of the
+// sender's reused buffer.
+func (s *StateMsg) Freeze() any {
+	c := *s
+	return &c
 }
 
 var _ rounds.Process = (*CondProcess)(nil)
@@ -127,8 +136,8 @@ func (c *CondProcess) Step(round int, recv []any) (vector.Value, bool) {
 // stepFirstRound is lines 4–9: build the view V_i and classify it.
 func (c *CondProcess) stepFirstRound(recv []any) {
 	for j, payload := range recv {
-		if payload != nil {
-			c.view[j] = payload.(vector.Value)
+		if v, ok := payload.(vector.Value); ok {
+			c.view[j] = v
 		}
 	}
 	if c.view.BottomCount() <= c.p.X() {
@@ -158,12 +167,17 @@ func (c *CondProcess) stepFloodRound(round int, recv []any) (vector.Value, bool)
 		return c.vCond, true // line 14
 	}
 	// Lines 15–17: max-merge received states (the sender's own message is
-	// always among them while it is alive).
+	// always among them while it is alive). A faulty transport can delay
+	// a round-1 proposal into a flood round; such stale payloads are not
+	// StateMsgs and are discarded — flood rounds ignore late proposals.
 	for _, payload := range recv {
 		if payload == nil {
 			continue
 		}
-		s := payload.(*StateMsg)
+		s, ok := payload.(*StateMsg)
+		if !ok {
+			continue
+		}
 		c.vCond = maxValue(c.vCond, s.Cond)
 		c.vOut = maxValue(c.vOut, s.Out)
 		c.vTmf = maxValue(c.vTmf, s.Tmf)
@@ -178,9 +192,14 @@ func (c *CondProcess) stepFloodRound(round int, recv []any) (vector.Value, bool)
 			return c.vCond, true // line 19
 		case c.vTmf != vector.Bottom:
 			return c.vTmf, true // line 20
-		default:
+		case c.vOut != vector.Bottom:
 			return c.vOut, true // line 21
 		}
+		// All three classes are ⊥: the process received nothing in any
+		// round, not even its own echo — impossible under the paper's
+		// reliable links, possible under a fault-injecting transport that
+		// lost every copy. There is no value to decide; halt undecided
+		// (a counted outcome) rather than emit ⊥.
 	}
 	return vector.Bottom, false
 }
@@ -201,7 +220,7 @@ func Run(p Params, c condition.Condition, input vector.Vector, fp rounds.Failure
 		return nil, err
 	}
 	r := GetRunner()
-	res, err := r.RunCond(p, c, input, fp, concurrent, nil)
+	res, err := r.RunCond(p, c, input, fp, concurrent, nil, nil)
 	PutRunner(r)
 	return res, err
 }

@@ -20,4 +20,7 @@
 //	E3  Theorems 3 and 13 sizes        E8  classical baseline contrast
 //	E4  Theorem 10 round bounds        E9  exhaustive adversary safety
 //	E5  the d size/speed tradeoff      E10 the Section-4 asynchronous run
+//
+// E11 steps beyond the paper's model: the loss × delay fault-injection
+// sweep over faultnet link adversaries (faultsweep.go).
 package experiments

@@ -42,12 +42,12 @@ func TestAllExperimentsVerify(t *testing.T) {
 	}
 }
 
-// TestRegistryShape pins the registry's identity invariants: stable E1..E10
+// TestRegistryShape pins the registry's identity invariants: stable E1..E11
 // order, unique IDs, resolvable lookups, runnable specs.
 func TestRegistryShape(t *testing.T) {
 	specs := Registry()
-	if len(specs) != 10 {
-		t.Fatalf("registry has %d specs, want 10", len(specs))
+	if len(specs) != 11 {
+		t.Fatalf("registry has %d specs, want 11", len(specs))
 	}
 	seen := make(map[string]bool)
 	for i, s := range specs {
@@ -66,8 +66,8 @@ func TestRegistryShape(t *testing.T) {
 			t.Errorf("Lookup(%s) = %+v, %v", s.ID, got, ok)
 		}
 	}
-	if specs[9].ID != "E10" {
-		t.Errorf("last spec is %s, want E10", specs[9].ID)
+	if specs[9].ID != "E10" || specs[10].ID != "E11" {
+		t.Errorf("last specs are %s, %s, want E10, E11", specs[9].ID, specs[10].ID)
 	}
 	if _, ok := Lookup("E99"); ok {
 		t.Error("Lookup(E99) unexpectedly succeeded")

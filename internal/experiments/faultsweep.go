@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"kset"
+	"kset/internal/adversary"
+	"kset/internal/condition"
+	"kset/internal/core"
+)
+
+// e11Losses and e11Delays are E11's fault grid axes: uniform per-copy
+// loss rates crossed with delay bounds in rounds (delayed copies drawn
+// with probability 0.25 whenever the bound is nonzero). The 0×0 corner
+// is the fault-free baseline the paper's reliable-link model assumes.
+var (
+	e11Losses = []float64{0, 0.01, 0.05, 0.1}
+	e11Delays = []int{0, 1, 2}
+)
+
+// runE11 stresses the Figure-2 algorithm beyond the paper's model: its
+// correctness proof assumes reliable synchronous links (§6.2 — only
+// processes fail, by crashing mid-send), and E11 measures what actually
+// breaks when the links themselves lose or delay message copies. Each
+// fault grid point is one sweep point whose scenarios cross seeded
+// random inputs with crash patterns and carry that point's FaultPlan;
+// safety violations and non-termination within the round limit are
+// counted outcomes (never hangs or panics), and the fault-free corner is
+// checked to behave exactly like the reliable engine: zero violations,
+// zero undecided processes, zero fault counters.
+func runE11(cfg Params) Report {
+	r := begin("E11", cfg)
+	n, m, t, k, d, l := cfg["n"], cfg["m"], cfg["t"], cfg["k"], cfg["d"], cfg["l"]
+	trials, seed := cfg["trials"], cfg["seed"]
+	p := core.Params{N: n, T: t, K: k, D: d, L: l}
+	c, err := condition.NewMax(n, m, p.X(), l)
+	if err != nil {
+		return r.Fail(err)
+	}
+	// Faults compose with the crash adversary: every input runs both
+	// crash-free and under a one-crash pattern.
+	inputs := kset.CrossFailures(
+		kset.RandomInputs(int64(seed), n, m, trials),
+		kset.FailurePattern{}, adversary.InitialLast(n, 1),
+	)
+
+	points := make([]kset.SweepPoint, 0, len(e11Losses)*len(e11Delays))
+	for _, loss := range e11Losses {
+		for _, delay := range e11Delays {
+			plan := &kset.FaultPlan{Seed: int64(seed)}
+			plan.Default.Loss = loss
+			if delay > 0 {
+				plan.Default.DelayProb = 0.25
+				plan.Default.MaxDelay = delay
+			}
+			points = append(points, kset.SweepPoint{
+				Key:     fmt.Sprintf("loss=%g/delay=%d", loss, delay),
+				Options: []kset.Option{kset.WithParams(p), kset.WithCondition(c)},
+				Source:  kset.CrossFaults(inputs, plan),
+			})
+		}
+	}
+	results, err := kset.RunSweep(context.Background(), points, kset.VerifyRuns())
+	if err != nil {
+		return r.Fail(err)
+	}
+
+	sweep := r.Section("fault-sweep")
+	sweep.Note("n=%d m=%d t=%d k=%d d=%d ℓ=%d; %d seeded inputs × {no crash, 1 initial crash} per point",
+		n, m, t, k, d, l, trials)
+	tbl := sweep.AddTable("point", "runs", "violations", "undecided", "lost", "delayed", "mean round")
+	curve := sweep.AddSeries("violations-by-loss-delay2")
+	for _, res := range results {
+		st := res.Stats
+		if !r.Check(st.Errors == 0) {
+			return r.Failf("%s: %d run errors", res.Key, st.Errors)
+		}
+		var lost, delayed int64
+		if ft := st.Metrics.Faults; ft != nil {
+			lost, delayed = ft.Lost.Sum, ft.Delayed.Sum
+		}
+		if res.Key == "loss=0/delay=0" {
+			// The fault-free corner must be indistinguishable from the
+			// reliable engine.
+			r.Check(st.Violations == 0 && st.UndecidedRuns == 0 && lost == 0 && delayed == 0)
+		}
+		tbl.Row(res.Key, fmt.Sprint(st.Runs), fmt.Sprint(st.Violations),
+			fmt.Sprint(st.UndecidedRuns), fmt.Sprint(lost), fmt.Sprint(delayed),
+			fmt.Sprintf("%.2f", st.MeanDecisionRound()))
+		if len(res.Key) > 8 && res.Key[len(res.Key)-8:] == "/delay=2" {
+			var loss float64
+			fmt.Sscanf(res.Key, "loss=%g/", &loss)
+			curve.Add(loss, float64(st.Violations))
+		}
+	}
+	sweep.Note("(shape: the 0×0 corner matches the reliable model exactly; rising loss and")
+	sweep.Note(" delay trade decisions for counted violations/undecided runs, never hangs)")
+	return r
+}

@@ -27,7 +27,7 @@ func (p Params) With(overrides Params) Params {
 // it (cmd/experiments -list), parameterize it (Defaults.With) and execute
 // it on the Campaign/Sweep/Exhaust infrastructure via Run.
 type Spec struct {
-	// ID is the experiment identifier ("E1".."E10").
+	// ID is the experiment identifier ("E1".."E11").
 	ID string `json:"id"`
 	// Title describes the paper artifact reproduced.
 	Title string `json:"title"`
@@ -40,7 +40,8 @@ type Spec struct {
 }
 
 // registry lists every experiment in presentation order. Runners live in
-// experiments.go (E1–E5) and experiments2.go (E6–E10). It is populated
+// experiments.go (E1–E5), experiments2.go (E6–E10) and faultsweep.go
+// (E11). It is populated
 // by init: the runners call back into Lookup (via begin), so a composite
 // literal would form an initialization cycle.
 var registry []Spec
@@ -105,6 +106,12 @@ func init() {
 			Paper:    "§4, Theorems 8/9",
 			Defaults: Params{"n": 6, "m": 4, "x": 2, "l": 2},
 			Run:      runE10,
+		},
+		{
+			ID: "E11", Title: "Beyond the model — fault-injected links: loss × delay sweep",
+			Paper:    "§6.2 (model), stressed beyond it",
+			Defaults: Params{"n": 8, "m": 4, "t": 5, "k": 2, "d": 3, "l": 1, "trials": 12, "seed": 41},
+			Run:      runE11,
 		},
 	}
 }

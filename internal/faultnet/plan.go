@@ -1,0 +1,212 @@
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+
+	"kset/internal/rounds"
+)
+
+// errNilPlan rejects transport construction without a plan.
+var errNilPlan = errors.New("faultnet: nil plan")
+
+// Link identifies one directed channel of the system: messages From one
+// process To another. The zero Link is never a valid channel (IDs are
+// 1-based).
+type Link struct {
+	// From is the sender, To the receiver.
+	From, To rounds.ProcessID
+}
+
+// LinkFaults is the random fault profile of one link (or of every link,
+// as Plan.Default): per-copy probabilities drawn from the plan's seeded
+// generator, so the same plan and seed always produce the same faults.
+type LinkFaults struct {
+	// Loss is the probability that a copy is dropped.
+	Loss float64
+	// DelayProb is the probability that a surviving copy is deferred by
+	// 1..MaxDelay rounds (uniformly) instead of arriving in its send
+	// round. Requires MaxDelay ≥ 1.
+	DelayProb float64
+	// MaxDelay bounds the delay, in rounds, of delayed and duplicated
+	// copies on this link. Copies still in flight when the run's round
+	// limit is reached are never delivered.
+	MaxDelay int
+	// Duplicate is the probability that a surviving copy is delivered
+	// twice: once on time, once 1..MaxDelay rounds later. Requires
+	// MaxDelay ≥ 1. (A same-round duplicate would be indistinguishable
+	// from the original in a synchronous round model.)
+	Duplicate float64
+}
+
+// zero reports whether the profile injects no faults at all.
+func (lf LinkFaults) zero() bool {
+	return lf.Loss == 0 && lf.DelayProb == 0 && lf.Duplicate == 0
+}
+
+// validate checks the profile's rates and delay bound.
+func (lf LinkFaults) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Loss", lf.Loss}, {"DelayProb", lf.DelayProb}, {"Duplicate", lf.Duplicate}} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("faultnet: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if lf.MaxDelay < 0 {
+		return fmt.Errorf("faultnet: MaxDelay = %d < 0", lf.MaxDelay)
+	}
+	if (lf.DelayProb > 0 || lf.Duplicate > 0) && lf.MaxDelay < 1 {
+		return fmt.Errorf("faultnet: DelayProb/Duplicate require MaxDelay ≥ 1")
+	}
+	return nil
+}
+
+// Kind classifies a scheduled fault.
+type Kind int
+
+// The scheduled fault kinds.
+const (
+	// Drop discards the copy.
+	Drop Kind = iota + 1
+	// Delay defers the copy by Fault.Delay rounds.
+	Delay
+	// Duplicate delivers the copy on time and again Fault.Delay rounds
+	// later.
+	Duplicate
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Fault schedules one explicit, deterministic fault: the copy sent in
+// Round over the link From→To suffers Kind. Scheduled faults take
+// precedence over the link's random profile, so a plan can pin a known
+// adversarial cut while the rest of the network stays probabilistic.
+type Fault struct {
+	// Round is the send round the fault strikes (≥ 1).
+	Round int
+	// From and To name the link.
+	From, To rounds.ProcessID
+	// Kind selects drop, delay or duplicate.
+	Kind Kind
+	// Delay is the deferral in rounds for Delay and Duplicate faults
+	// (≥ 1; ignored for Drop).
+	Delay int
+}
+
+// Plan is a deterministic fault-injection plan: per-link random fault
+// rates plus explicitly scheduled faults, all driven by one seed. A Plan
+// is immutable once in use (Transport caches derived state by plan
+// pointer); build a new Plan per sweep point instead of mutating one.
+type Plan struct {
+	// Seed is the base seed of the plan's random faults. Campaign runs
+	// additionally mix in the scenario's seed and input fingerprint, so
+	// each scenario's faults are deterministic regardless of worker count
+	// or execution order.
+	Seed int64
+	// Default is the fault profile of every link without an entry in
+	// Links. The zero profile — no loss, no delay, no duplication —
+	// makes the transport behave exactly like the reliable matrix.
+	Default LinkFaults
+	// Links overrides the profile of individual links.
+	Links map[Link]LinkFaults
+	// Scheduled lists explicit faults; on a (round, link) collision the
+	// last entry wins.
+	Scheduled []Fault
+	// Reorder is the probability that one sender's delivery order in one
+	// round is shuffled before the crash adversary's delivery prefix is
+	// applied. It changes which destinations a mid-round-crashing sender
+	// reaches — against crash-free senders a within-round shuffle is
+	// unobservable, since a round's arrivals carry no order.
+	Reorder float64
+}
+
+// maxDelay returns the largest deferral, in rounds, any fault of the
+// plan can impose — the depth of the transport's in-flight ring.
+func (p *Plan) maxDelay() int {
+	d := p.Default.MaxDelay
+	for _, lf := range p.Links {
+		if lf.MaxDelay > d {
+			d = lf.MaxDelay
+		}
+	}
+	for _, f := range p.Scheduled {
+		if f.Kind != Drop && f.Delay > d {
+			d = f.Delay
+		}
+	}
+	return d
+}
+
+// Zero reports whether the plan injects no faults at all: zero profiles,
+// no scheduled faults, no reordering. A zero plan's transport is
+// behaviorally identical to the reliable delivery matrix.
+func (p *Plan) Zero() bool {
+	if !p.Default.zero() || p.Reorder != 0 || len(p.Scheduled) > 0 {
+		return false
+	}
+	for _, lf := range p.Links {
+		if !lf.zero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the plan's rates, delays and (when n > 0) process IDs
+// against a system of n processes.
+func (p *Plan) Validate(n int) error {
+	if err := p.Default.validate(); err != nil {
+		return fmt.Errorf("faultnet: default profile: %w", err)
+	}
+	if p.Reorder < 0 || p.Reorder > 1 || p.Reorder != p.Reorder {
+		return fmt.Errorf("faultnet: Reorder = %v outside [0, 1]", p.Reorder)
+	}
+	for link, lf := range p.Links {
+		if err := lf.validate(); err != nil {
+			return fmt.Errorf("faultnet: link %d→%d: %w", link.From, link.To, err)
+		}
+		if err := validateLink(link.From, link.To, n); err != nil {
+			return err
+		}
+	}
+	for i, f := range p.Scheduled {
+		if f.Round < 1 {
+			return fmt.Errorf("faultnet: scheduled fault %d strikes round %d < 1", i, f.Round)
+		}
+		if f.Kind < Drop || f.Kind > Duplicate {
+			return fmt.Errorf("faultnet: scheduled fault %d has unknown kind %d", i, int(f.Kind))
+		}
+		if f.Kind != Drop && f.Delay < 1 {
+			return fmt.Errorf("faultnet: scheduled %v fault %d has delay %d < 1", f.Kind, i, f.Delay)
+		}
+		if err := validateLink(f.From, f.To, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateLink checks a link's endpoints against n processes; n ≤ 0
+// skips the upper bound (plan validated before the system size is
+// known).
+func validateLink(from, to rounds.ProcessID, n int) error {
+	for _, id := range []rounds.ProcessID{from, to} {
+		if id < 1 || (n > 0 && int(id) > n) {
+			return fmt.Errorf("faultnet: link %d→%d names a process outside 1..%d", from, to, n)
+		}
+	}
+	return nil
+}

@@ -25,4 +25,18 @@
 // message matrix and per-round buffers across runs (RunInto + Result.Reset
 // make stats-only campaign runs allocation-free), with a shared-row fast
 // path for rounds in which no sender crashed.
+//
+// Message delivery itself sits behind the Transport seam: the engine
+// applies the crash adversary to each round's sends (order and prefix
+// length) and hands the surviving copies to a Transport, which decides
+// what each destination receives. The canonical MatrixTransport is the
+// reliable n×n matrix the model prescribes — Options.Transport == nil
+// selects it, and crash-only runs bypass even its indirection on the
+// shared-row fast path, so the seam costs nothing (gated at 0 allocs/run
+// by BenchmarkEngineTransport in scripts/benchgate.sh). Package faultnet
+// plugs in the lossy alternative: a transport may drop, delay by whole
+// rounds, duplicate or reorder copies, report its tampering through the
+// optional FaultCounter interface, and retain payloads past their send
+// round by freezing them (Freezer) instead of aliasing sender-reused
+// buffers.
 package rounds

@@ -129,8 +129,15 @@ type Result struct {
 	Crashed map[ProcessID]bool
 	// Rounds is the number of rounds actually executed.
 	Rounds int
-	// MessagesDelivered counts delivered messages across the run.
+	// MessagesDelivered counts the message copies the run's transport
+	// accepted for delivery (for the default MatrixTransport: delivered
+	// messages exactly).
 	MessagesDelivered int64
+	// Lost, Delayed and Duplicated count the message copies the run's
+	// transport dropped, deferred to a later round and duplicated. They
+	// are zero under the default MatrixTransport; a fault-injecting
+	// transport (see FaultCounter) fills them.
+	Lost, Delayed, Duplicated int64
 }
 
 // Reset clears the result for reuse, retaining its map storage. Batch
@@ -154,6 +161,9 @@ func (r *Result) Reset() {
 	}
 	r.Rounds = 0
 	r.MessagesDelivered = 0
+	r.Lost = 0
+	r.Delayed = 0
+	r.Duplicated = 0
 }
 
 // MaxDecisionRound returns the latest round at which any process decided
@@ -190,6 +200,11 @@ type Options struct {
 	// Trace, when non-nil, is filled with the round-by-round events of the
 	// execution (rendering payloads with fmt).
 	Trace *Trace
+	// Transport, when non-nil, overrides how each round's sends reach
+	// their destinations (message loss, delay, duplication, reordering —
+	// see internal/faultnet). nil selects the engine's built-in
+	// MatrixTransport: the paper's reliable crash-respecting delivery.
+	Transport Transport
 }
 
 // Engine executes synchronous runs while reusing its internal buffers
@@ -202,11 +217,15 @@ type Options struct {
 // An Engine is not safe for concurrent use; Run itself may still use the
 // concurrent per-process executor internally.
 type Engine struct {
-	recv     []any // n×n delivery matrix; recv[(dst-1)*n+(src-1)] = payload
+	recv     []any // n×n receive-row scratch; recv[(dst-1)*n:] is dst's row
 	alive    []bool
 	halted   []bool
 	identity []ProcessID
 	outcomes []outcome
+
+	// mt is the built-in default transport, embedded so that runs without
+	// an Options.Transport override reuse its matrix across runs.
+	mt MatrixTransport
 
 	// Row-sharing fast path (in-line executor, identity send orders): the
 	// send phase records one payload and delivery limit per sender, and a
@@ -297,11 +316,32 @@ func (e *Engine) RunInto(res *Result, procs []Process, fp FailurePattern, opts O
 		res.Reset()
 	}
 
+	// Resolve the transport. The shared-row fast path applies only to the
+	// default reliable delivery with the in-line executor, no tracing and
+	// no send-order overrides; everything else — traced, concurrent,
+	// order-overridden or fault-injected runs — flows through the
+	// transport seam.
+	tr := opts.Transport
+	if tr == nil {
+		tr = &e.mt
+	}
+	_, isMatrix := tr.(*MatrixTransport)
+	fast := isMatrix && !opts.Concurrent && opts.Trace == nil && len(fp.Orders) == 0
+	if !fast {
+		tr.Reset(n)
+	}
+
 	if opts.Trace != nil {
 		opts.Trace.N = n
 		opts.Trace.Rounds = opts.Trace.Rounds[:0]
 	}
 	for r := 1; r <= opts.MaxRounds; r++ {
+		if fast {
+			if e.runRoundShared(procs, fp, r, res) {
+				break
+			}
+			continue
+		}
 		var rt *RoundTrace
 		if opts.Trace != nil {
 			opts.Trace.Rounds = append(opts.Trace.Rounds, RoundTrace{
@@ -311,110 +351,130 @@ func (e *Engine) RunInto(res *Result, procs []Process, fp FailurePattern, opts O
 			})
 			rt = &opts.Trace.Rounds[len(opts.Trace.Rounds)-1]
 		}
-		// Fast path: with the in-line executor, no tracing and no
-		// adversarial send-order overrides, deliveries are prefix slices of
-		// the identity order, so one shared receive row patched as the
-		// destination advances replaces the n×n matrix (and its clear).
-		if !opts.Concurrent && opts.Trace == nil && len(fp.Orders) == 0 {
-			if e.runRoundShared(procs, fp, r, res) {
-				break
-			}
-			continue
-		}
-
-		// Send phase: collect deliveries into the flat matrix.
-		clear(e.recv)
-		active := false
-		for src := 1; src <= n; src++ {
-			if !e.alive[src] || e.halted[src] {
-				continue
-			}
-			payload := procs[src-1].Send(r)
-			order := e.sendOrder(fp, ProcessID(src), r)
-			limit := n
-			if cr, ok := fp.Crashes[ProcessID(src)]; ok && cr.Round == r {
-				limit = cr.AfterSends
-				e.alive[src] = false
-				res.Crashed[ProcessID(src)] = true
-				if rt != nil {
-					rt.Crashes = append(rt.Crashes, ProcessID(src))
-				}
-			}
-			for k := 0; k < limit; k++ {
-				dst := int(order[k])
-				e.recv[(dst-1)*n+(src-1)] = payload
-				res.MessagesDelivered++
-			}
-			if rt != nil {
-				rt.Sends[ProcessID(src)] = SendTrace{
-					Payload:   fmt.Sprintf("%v", payload),
-					Delivered: limit,
-				}
-			}
-			if e.alive[src] {
-				active = true
-			}
-		}
-		res.Rounds = r
-
-		// Receive + compute phase.
-		outcomes := e.outcomes[:0]
-		if opts.Concurrent {
-			var mu sync.Mutex
-			var wg sync.WaitGroup
-			for id := 1; id <= n; id++ {
-				if !e.alive[id] || e.halted[id] {
-					continue
-				}
-				wg.Add(1)
-				// r is passed as an argument: a capture would make the
-				// per-iteration loop variable escape to the heap on every
-				// round, including rounds taking the in-line fast path.
-				go func(id, r int) {
-					defer wg.Done()
-					v, done := procs[id-1].Step(r, e.recv[(id-1)*n:id*n])
-					mu.Lock()
-					outcomes = append(outcomes, outcome{ProcessID(id), v, done})
-					mu.Unlock()
-				}(id, r)
-			}
-			wg.Wait()
-		} else {
-			for id := 1; id <= n; id++ {
-				if !e.alive[id] || e.halted[id] {
-					continue
-				}
-				v, done := procs[id-1].Step(r, e.recv[(id-1)*n:id*n])
-				outcomes = append(outcomes, outcome{ProcessID(id), v, done})
-			}
-		}
-		e.outcomes = outcomes[:0]
-		for _, o := range outcomes {
-			if o.done {
-				e.halted[o.id] = true
-				res.Decisions[o.id] = o.value
-				res.DecisionRound[o.id] = r
-				if rt != nil {
-					rt.Decisions[o.id] = o.value
-				}
-			}
-		}
-
-		if !active {
-			break // every process has crashed or halted
-		}
-		allDone := true
-		for id := 1; id <= n; id++ {
-			if e.alive[id] && !e.halted[id] {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
+		if e.runRoundTransport(procs, fp, r, res, opts, tr, rt) {
 			break
 		}
 	}
+	if fc, ok := tr.(FaultCounter); ok {
+		res.Lost, res.Delayed, res.Duplicated = fc.FaultCounts()
+	}
 	return res, nil
+}
+
+// runRoundTransport executes round r through the transport seam — the
+// path of every traced, concurrent, order-overridden or fault-injected
+// run — and reports whether the run should stop. With a MatrixTransport
+// its results are identical to the shared-row fast path's.
+func (e *Engine) runRoundTransport(procs []Process, fp FailurePattern, r int, res *Result, opts Options, tr Transport, rt *RoundTrace) (stop bool) {
+	n := len(procs)
+	tr.BeginRound(r)
+
+	// Send phase: the engine applies the crash adversary (send order and
+	// delivery prefix length) and hands each broadcast to the transport.
+	active := false
+	for src := 1; src <= n; src++ {
+		if !e.alive[src] || e.halted[src] {
+			continue
+		}
+		payload := procs[src-1].Send(r)
+		order := e.sendOrder(fp, ProcessID(src), r)
+		limit := n
+		if cr, ok := fp.Crashes[ProcessID(src)]; ok && cr.Round == r {
+			limit = cr.AfterSends
+			e.alive[src] = false
+			res.Crashed[ProcessID(src)] = true
+			if rt != nil {
+				rt.Crashes = append(rt.Crashes, ProcessID(src))
+			}
+		}
+		tr.Send(r, ProcessID(src), payload, order, limit)
+		if rt != nil {
+			rt.Sends[ProcessID(src)] = SendTrace{
+				Payload:   fmt.Sprintf("%v", payload),
+				Delivered: limit,
+			}
+		}
+		if e.alive[src] {
+			active = true
+		}
+	}
+	res.Rounds = r
+	res.MessagesDelivered = tr.Delivered()
+
+	// Receive + compute phase. Rows are delivered sequentially — the
+	// transport may reuse internal scratch between Deliver calls — into
+	// per-destination slices of the engine's receive scratch, so the
+	// concurrent executor's Steps still run in parallel safely.
+	outcomes := e.outcomes[:0]
+	if opts.Concurrent {
+		for id := 1; id <= n; id++ {
+			if !e.alive[id] || e.halted[id] {
+				continue
+			}
+			tr.Deliver(r, ProcessID(id), e.recv[(id-1)*n:id*n])
+		}
+		outcomes = e.stepConcurrent(procs, r, outcomes)
+	} else {
+		for id := 1; id <= n; id++ {
+			if !e.alive[id] || e.halted[id] {
+				continue
+			}
+			row := e.recv[(id-1)*n : id*n]
+			tr.Deliver(r, ProcessID(id), row)
+			v, done := procs[id-1].Step(r, row)
+			outcomes = append(outcomes, outcome{ProcessID(id), v, done})
+		}
+	}
+	e.outcomes = outcomes[:0]
+	for _, o := range outcomes {
+		if o.done {
+			e.halted[o.id] = true
+			res.Decisions[o.id] = o.value
+			res.DecisionRound[o.id] = r
+			if rt != nil {
+				rt.Decisions[o.id] = o.value
+			}
+		}
+	}
+
+	if !active {
+		return true // every process has crashed or halted
+	}
+	for id := 1; id <= n; id++ {
+		if e.alive[id] && !e.halted[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// stepConcurrent runs one round's receive/compute phase with one
+// goroutine per live process and returns the appended outcomes. It is a
+// separate function so the closure's capture of the append target only
+// heap-allocates the slice header on the concurrent path — inlined into
+// runRoundTransport it would make every in-line round pay that
+// allocation too.
+func (e *Engine) stepConcurrent(procs []Process, r int, outcomes []outcome) []outcome {
+	n := len(procs)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id := 1; id <= n; id++ {
+		if !e.alive[id] || e.halted[id] {
+			continue
+		}
+		wg.Add(1)
+		// r is passed as an argument: a capture would make the
+		// per-iteration loop variable escape to the heap on every round.
+		go func(id, r int) {
+			defer wg.Done()
+			v, done := procs[id-1].Step(r, e.recv[(id-1)*n:id*n])
+			mu.Lock()
+			outcomes = append(outcomes, outcome{ProcessID(id), v, done})
+			mu.Unlock()
+		}(id, r)
+	}
+	wg.Wait()
+	return outcomes
 }
 
 // runRoundShared executes round r on the shared-row fast path and reports

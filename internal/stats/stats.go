@@ -20,6 +20,15 @@ type Observation struct {
 	Crashes int
 	// Decided is the number of processes that decided.
 	Decided int
+	// Undecided is the number of processes that neither decided nor
+	// crashed within the run's round limit — the counted outcome of a
+	// fault-injected run whose message losses starved a process of the
+	// state it needed (0 on every fault-free synchronous run).
+	Undecided int
+	// Lost, Delayed and Duplicated count the message copies the run's
+	// transport dropped, deferred and duplicated (all 0 under reliable
+	// delivery).
+	Lost, Delayed, Duplicated int64
 	// InCondition reports whether the input vector belongs to the
 	// system's condition.
 	InCondition bool
@@ -256,6 +265,33 @@ func (g *Group) merge(o *Group) {
 	g.Rounds.Merge(o.Rounds)
 }
 
+// FaultTally summarizes the transport faults of the runs that suffered
+// any: one Summary per fault kind, each folding the per-run copy counts.
+// An Accumulator materializes it lazily — fault-free campaigns keep a
+// nil tally (and their JSON encoding unchanged).
+type FaultTally struct {
+	// Lost, Delayed and Duplicated summarize the per-run counts of
+	// dropped, deferred and duplicated message copies over the runs with
+	// at least one transport fault.
+	Lost       Summary `json:"lost"`
+	Delayed    Summary `json:"delayed"`
+	Duplicated Summary `json:"duplicated"`
+}
+
+// observe folds one faulty run's copy counts.
+func (t *FaultTally) observe(o Observation) {
+	t.Lost.Observe(o.Lost)
+	t.Delayed.Observe(o.Delayed)
+	t.Duplicated.Observe(o.Duplicated)
+}
+
+// Merge folds o into t. Merging is commutative and associative.
+func (t *FaultTally) Merge(o *FaultTally) {
+	t.Lost.Merge(o.Lost)
+	t.Delayed.Merge(o.Delayed)
+	t.Duplicated.Merge(o.Duplicated)
+}
+
 // Accumulator is the canonical Collector: every aggregate the evaluation
 // reads off a batch of runs, in mergeable form. All fields are sums,
 // minima or maxima, so for a fixed multiset of observations the
@@ -283,6 +319,14 @@ type Accumulator struct {
 	Messages Summary `json:"messages"`
 	// Crashes summarizes crashed processes per successful run.
 	Crashes Summary `json:"crashes"`
+	// UndecidedRuns counts successful runs in which some process neither
+	// decided nor crashed within the round limit — the bounded-rounds
+	// outcome of fault-injected campaigns.
+	UndecidedRuns int64 `json:"undecided_runs,omitempty"`
+	// Faults summarizes transport faults over the runs that suffered any;
+	// nil when every run was fault-free. Whether a run folds in depends
+	// only on the run itself, so the tally stays worker-count-invariant.
+	Faults *FaultTally `json:"faults,omitempty"`
 	// ByExecutor, ByCrashes and ByLabel break the same counters down by
 	// executor name, by the run's crash count and by scenario label.
 	// Absent keys (empty executor or label) are not recorded.
@@ -313,6 +357,15 @@ func (a *Accumulator) Observe(o Observation) {
 	a.Rounds.Observe(o.Round)
 	a.Messages.Observe(o.Messages)
 	a.Crashes.Observe(int64(o.Crashes))
+	if o.Undecided > 0 {
+		a.UndecidedRuns++
+	}
+	if o.Lost != 0 || o.Delayed != 0 || o.Duplicated != 0 {
+		if a.Faults == nil {
+			a.Faults = &FaultTally{}
+		}
+		a.Faults.observe(o)
+	}
 	if o.InCondition {
 		a.ConditionHits++
 	}
@@ -348,6 +401,13 @@ func (a *Accumulator) Merge(o *Accumulator) {
 	a.Rounds.Merge(&o.Rounds)
 	a.Messages.Merge(o.Messages)
 	a.Crashes.Merge(o.Crashes)
+	a.UndecidedRuns += o.UndecidedRuns
+	if o.Faults != nil {
+		if a.Faults == nil {
+			a.Faults = &FaultTally{}
+		}
+		a.Faults.Merge(o.Faults)
+	}
 	mergeGroups(&a.ByExecutor, o.ByExecutor)
 	mergeGroups(&a.ByCrashes, o.ByCrashes)
 	mergeGroups(&a.ByLabel, o.ByLabel)

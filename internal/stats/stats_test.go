@@ -3,6 +3,7 @@ package stats
 import (
 	"encoding/json"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -24,6 +25,13 @@ func randObservation(r *rand.Rand) Observation {
 	if r.Intn(2) == 0 {
 		o.Verified = true
 		o.Violation = r.Intn(16) == 0
+	}
+	// A minority of runs rode a fault-injecting transport.
+	if r.Intn(4) == 0 {
+		o.Lost = int64(r.Intn(20))
+		o.Delayed = int64(r.Intn(10))
+		o.Duplicated = int64(r.Intn(5))
+		o.Undecided = r.Intn(3)
 	}
 	return o
 }
@@ -181,5 +189,46 @@ func TestReset(t *testing.T) {
 	a.Observe(Observation{Round: 1, Executor: "figure2"})
 	if a.Runs != 1 || a.ByExecutor["figure2"].Runs != 1 {
 		t.Fatalf("post-Reset observe: %+v", a)
+	}
+}
+
+// TestFaultTallyLazy pins the fault plane's accumulator semantics: the
+// tally stays nil (and absent from the JSON) for fault-free streams,
+// materializes on the first faulty run, folds only faulty runs, and
+// merges nil-safely in both directions alongside UndecidedRuns.
+func TestFaultTallyLazy(t *testing.T) {
+	clean := NewAccumulator()
+	clean.Observe(Observation{Round: 2, Messages: 10})
+	if clean.Faults != nil || clean.UndecidedRuns != 0 {
+		t.Fatalf("fault-free stream materialized a tally: %+v", clean)
+	}
+	if s := marshal(t, clean); strings.Contains(s, "faults") || strings.Contains(s, "undecided") {
+		t.Errorf("fault-free JSON mentions faults: %s", s)
+	}
+
+	faulty := NewAccumulator()
+	faulty.Observe(Observation{Round: 2, Messages: 8, Lost: 3, Delayed: 1, Undecided: 2})
+	faulty.Observe(Observation{Round: 3, Messages: 9, Duplicated: 4})
+	faulty.Observe(Observation{Round: 2, Messages: 12}) // fault-free run: not folded
+	ft := faulty.Faults
+	if ft == nil {
+		t.Fatal("faulty stream left a nil tally")
+	}
+	if ft.Lost.Count != 2 || ft.Lost.Sum != 3 || ft.Duplicated.Sum != 4 || ft.Delayed.Sum != 1 {
+		t.Errorf("tally folded wrong runs: %+v", ft)
+	}
+	if faulty.UndecidedRuns != 1 {
+		t.Errorf("UndecidedRuns = %d, want 1", faulty.UndecidedRuns)
+	}
+
+	// nil ← non-nil and non-nil ← nil merges.
+	m := NewAccumulator()
+	m.Merge(faulty)
+	m.Merge(clean)
+	if m.Faults == nil || m.Faults.Lost.Sum != 3 || m.UndecidedRuns != 1 {
+		t.Errorf("merged tally wrong: %+v undecided=%d", m.Faults, m.UndecidedRuns)
+	}
+	if faulty.Faults == m.Faults {
+		t.Error("merge aliased the source tally instead of copying into its own")
 	}
 }

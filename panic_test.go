@@ -1,0 +1,73 @@
+package kset
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// panicExec is a white-box Executor (the interface is sealed) whose run
+// always panics — the poisoned-scenario stand-in for the campaign
+// hardening test.
+type panicExec struct{}
+
+func (panicExec) Name() string        { return "panicker" }
+func (panicExec) synchronous() bool   { return true }
+func (panicExec) check(*System) error { return nil }
+func (panicExec) run(context.Context, *System, *worker, *Scenario, *Result) (*Result, error) {
+	panic("executor exploded")
+}
+
+// TestCampaignRecoversExecutorPanic: a panicking executor fails its own
+// run — surfacing as the scenario's Outcome.Err and in the campaign's
+// error count — while the worker, the campaign and the process carry on;
+// healthy scenarios in the same campaign still succeed.
+func TestCampaignRecoversExecutorPanic(t *testing.T) {
+	p := Params{N: 6, T: 3, K: 2, D: 1, L: 1}
+	cond, err := NewMaxCondition(p.N, 4, p.X(), p.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(WithParams(p), WithCondition(cond), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := VectorOf(4, 4, 4, 2, 1, 2)
+
+	scs := make([]Scenario, 20)
+	for i := range scs {
+		scs[i] = Scenario{Input: input}
+		if i%4 == 0 {
+			scs[i].Executor = panicExec{}
+		}
+	}
+	camp := sys.NewCampaign(context.Background(), CollectResults(len(scs)))
+	if err := camp.SubmitAll(scs); err != nil {
+		t.Fatal(err)
+	}
+	camp.Close()
+	var panicked, ok int
+	for out := range camp.Results() {
+		if out.Err != nil {
+			if !strings.Contains(out.Err.Error(), "panicked") || !strings.Contains(out.Err.Error(), "panicker") {
+				t.Errorf("panic surfaced as %q, want a named executor-panicked error", out.Err)
+			}
+			panicked++
+		} else {
+			if len(out.Result.Decisions) == 0 {
+				t.Error("healthy scenario decided nothing")
+			}
+			ok++
+		}
+	}
+	stats, err := camp.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panicked != 5 || ok != 15 {
+		t.Fatalf("panicked=%d ok=%d, want 5/15", panicked, ok)
+	}
+	if stats.Runs != 20 || stats.Errors != 5 {
+		t.Fatalf("stats runs=%d errors=%d, want 20/5", stats.Runs, stats.Errors)
+	}
+}

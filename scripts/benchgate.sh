@@ -21,15 +21,21 @@ cd "$(dirname "$0")/.."
 # through the full results-plane pipeline (Observation → collector shards
 # → deterministic join): its budget holds the collector observe path at
 # ≤ 1 alloc/run (measured: 556 for 512 runs + campaign setup at PR 5).
+# EngineTransport prices the transport seam on a recycled engine: the
+# matrix arm is the campaign hot path and must stay allocation-free (the
+# seam is an interface dispatch, not a cost), and the warmed zero-fault
+# faultnet arm must amortize to zero as well (measured: 0 / 0 at PR 6).
 budgets='
 BenchmarkE1Lattice 2400
 BenchmarkE9Adversary 400
 BenchmarkCampaignThroughput/campaign 4
 BenchmarkCollectorPath 700
+BenchmarkEngineTransport/matrix 0
+BenchmarkEngineTransport/faultnet 0
 '
 
-raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$' \
-	-benchmem -benchtime "$benchtime" -count 1 .)"
+raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport' \
+	-benchmem -benchtime "$benchtime" -count 1 . ./internal/rounds/)"
 printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk -v budgets="$budgets" '

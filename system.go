@@ -10,6 +10,7 @@ import (
 	"kset/internal/async"
 	"kset/internal/condition"
 	"kset/internal/core"
+	"kset/internal/faultnet"
 	"kset/internal/rounds"
 )
 
@@ -33,6 +34,7 @@ type System struct {
 	hasParams bool
 	cond      Condition
 	exec      Executor
+	faults    *FaultPlan
 
 	workers        int
 	procGoroutines bool
@@ -63,6 +65,11 @@ func New(opts ...Option) (*System, error) {
 	}
 	if err := s.exec.check(s); err != nil {
 		return nil, err
+	}
+	if s.faults != nil {
+		if err := s.faults.Validate(s.p.N); err != nil {
+			return nil, fmt.Errorf("kset: bad fault plan: %w: %w", err, ErrBadParams)
+		}
 	}
 	return s, nil
 }
@@ -133,8 +140,15 @@ type Scenario struct {
 	// Executor overrides the system's executor for this scenario (nil =
 	// system default).
 	Executor Executor
-	// Seed drives the scheduling jitter of Asynchronous runs.
+	// Seed drives the scheduling jitter of Asynchronous runs and, mixed
+	// with the fault plan's seed and the input, the fault draws of runs
+	// under a FaultPlan.
 	Seed int64
+	// Faults injects link faults (loss, delay, duplication, reordering)
+	// into this scenario's synchronous run, overriding the system's
+	// WithFaultPlan default. The plan must be treated as immutable once
+	// installed. Asynchronous runs ignore it.
+	Faults *FaultPlan
 	// AsyncCrashes, when non-nil, replaces the FP mapping for
 	// Asynchronous runs.
 	AsyncCrashes map[int]CrashPoint
@@ -185,7 +199,11 @@ func (figure2Exec) check(s *System) error {
 	return s.p.ValidateWith(s.cond)
 }
 func (figure2Exec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
-	return w.runner.RunCond(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, res)
+	tr, err := w.transport(s, sc)
+	if err != nil {
+		return nil, err
+	}
+	return w.runner.RunCond(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, res)
 }
 
 type earlyExec struct{}
@@ -196,7 +214,11 @@ func (earlyExec) check(s *System) error {
 	return s.p.ValidateWith(s.cond)
 }
 func (earlyExec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
-	return w.runner.RunEarly(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, res)
+	tr, err := w.transport(s, sc)
+	if err != nil {
+		return nil, err
+	}
+	return w.runner.RunEarly(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, res)
 }
 
 type classicalExec struct{}
@@ -207,7 +229,11 @@ func (classicalExec) check(s *System) error {
 	return core.ValidateClassical(s.p.N, s.p.T, s.p.K)
 }
 func (classicalExec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
-	return w.runner.RunClassical(s.p.N, s.p.T, s.p.K, sc.Input, sc.FP, s.procGoroutines, res)
+	tr, err := w.transport(s, sc)
+	if err != nil {
+		return nil, err
+	}
+	return w.runner.RunClassical(s.p.N, s.p.T, s.p.K, sc.Input, sc.FP, s.procGoroutines, tr, res)
 }
 
 type asyncExec struct{}
@@ -261,10 +287,36 @@ func (asyncExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, re
 }
 
 // worker bundles the per-worker reusable state of a System: the engine and
-// protocol buffers, and a recycled Result for stats-only campaign runs.
+// protocol buffers, a recycled Result for stats-only campaign runs, and a
+// lazily created fault-injecting transport for runs under a FaultPlan.
 type worker struct {
 	runner *core.Runner
 	res    *rounds.Result
+	ft     *faultnet.Transport
+}
+
+// transport resolves the run's transport from the scenario's fault plan
+// (falling back to the system default): nil — the engine's allocation-free
+// matrix fast path — when no plan applies, otherwise the worker's fault
+// transport, reconfigured for the plan and reseeded per run so fault
+// draws depend only on (plan, scenario), never on worker count or
+// submission order.
+func (w *worker) transport(s *System, sc *Scenario) (rounds.Transport, error) {
+	plan := sc.Faults
+	if plan == nil {
+		plan = s.faults
+	}
+	if plan == nil {
+		return nil, nil
+	}
+	if w.ft == nil {
+		w.ft = &faultnet.Transport{}
+	}
+	if err := w.ft.SetPlan(plan, s.p.N); err != nil {
+		return nil, fmt.Errorf("kset: bad fault plan: %w: %w", err, ErrBadParams)
+	}
+	w.ft.Reseed(faultSeed(plan, sc))
+	return w.ft, nil
 }
 
 // workerPool is shared by every System: workers carry no per-System state,
