@@ -2,6 +2,7 @@ package kset
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -448,6 +449,12 @@ func (c *Campaign) runOne(w *worker, shard []Collector, sc Scenario) {
 			reuse = w.res
 		}
 		res, err = safeRun(c.ctx, ex, c.sys, w, &sc, reuse)
+	}
+	// A run aborted by the campaign's own cancellation did not run at all:
+	// it is excluded from the stats (Wait reports the context error next to
+	// the scenarios that did complete) instead of counting as a failure.
+	if err != nil && c.ctx.Err() != nil && errors.Is(err, c.ctx.Err()) {
+		return
 	}
 	out := Outcome{Scenario: sc}
 	var o Observation

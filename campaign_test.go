@@ -161,6 +161,12 @@ func TestCampaignCancellation(t *testing.T) {
 	if stats.Runs == 0 || stats.Runs >= total {
 		t.Fatalf("stats.Runs = %d, want partial progress in (0, %d)", stats.Runs, total)
 	}
+	// Runs the cancellation aborted mid-flight (the engine now honors the
+	// context at round boundaries) did not run: they must not surface as
+	// campaign errors.
+	if stats.Errors != 0 {
+		t.Fatalf("stats.Errors = %d after cancellation, want 0", stats.Errors)
+	}
 }
 
 // TestCampaignSubmitAfterClose pins the closed-campaign error.

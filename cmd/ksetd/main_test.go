@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves a loopback port and releases it for the daemon.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestDaemonGracefulDrain is the end-to-end daemon smoke: boot the real
+// run loop, wait for the health probe, submit jobs, send ourselves
+// SIGTERM and check the daemon drains the accepted work and exits clean.
+func TestDaemonGracefulDrain(t *testing.T) {
+	addr := freeAddr(t)
+	exit := make(chan error, 1)
+	go func() {
+		exit <- run([]string{"-addr", addr, "-active", "2", "-drain-timeout", "60s"})
+	}()
+	base := "http://" + addr
+
+	// Wait for the listener; the daemon installs its signal handler
+	// before the listener goes live, so a healthy probe means SIGTERM is
+	// already safe to send.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	spec := `{
+		"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+		"condition": {"kind": "max", "m": 3},
+		"source": {"kind": "exhaustive"}
+	}`
+	for i := 0; i < 8; i++ {
+		resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, data)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// TestDaemonServesJobs boots the daemon and runs one synchronous job
+// through the wire, checking the stats land.
+func TestDaemonServesJobs(t *testing.T) {
+	addr := freeAddr(t)
+	exit := make(chan error, 1)
+	go func() {
+		exit <- run([]string{"-addr", addr})
+	}()
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	spec := `{
+		"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+		"condition": {"kind": "max", "m": 3},
+		"source": {"kind": "exhaustive"},
+		"label": "smoke"
+	}`
+	resp, err := http.Post(base+"/v1/campaigns?wait=1", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait submit: status %d: %s", resp.StatusCode, data)
+	}
+	var status struct {
+		State string `json:"state"`
+		Stats struct {
+			Runs int64 `json:"runs"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.State != "done" || status.Stats.Runs != 81 {
+		t.Fatalf("job did not complete over the wire: %s", data)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-exit; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}

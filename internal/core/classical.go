@@ -62,7 +62,7 @@ func RunClassical(n, t, k int, input vector.Vector, fp rounds.FailurePattern, co
 		return nil, err
 	}
 	r := GetRunner()
-	res, err := r.RunClassical(n, t, k, input, fp, concurrent, nil, nil)
+	res, err := r.RunClassical(n, t, k, input, fp, concurrent, nil, nil, nil)
 	PutRunner(r)
 	return res, err
 }

@@ -191,7 +191,7 @@ func RunEarly(p Params, c condition.Condition, input vector.Vector, fp rounds.Fa
 		return nil, err
 	}
 	r := GetRunner()
-	res, err := r.RunEarly(p, c, input, fp, concurrent, nil, nil)
+	res, err := r.RunEarly(p, c, input, fp, concurrent, nil, nil, nil)
 	PutRunner(r)
 	return res, err
 }

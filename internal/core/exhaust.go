@@ -28,7 +28,7 @@ func Exhaust(p Params, c condition.Condition, input vector.Vector, fn func(fp ro
 	var res rounds.Result
 	var runErr error
 	err := adversary.Enumerate(p.N, p.T, p.RMax(), func(fp rounds.FailurePattern) bool {
-		out, err := r.RunCond(p, c, input, fp, false, nil, &res)
+		out, err := r.RunCond(p, c, input, fp, false, nil, nil, &res)
 		if err != nil {
 			runErr = err
 			return false

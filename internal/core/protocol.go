@@ -220,7 +220,7 @@ func Run(p Params, c condition.Condition, input vector.Vector, fp rounds.Failure
 		return nil, err
 	}
 	r := GetRunner()
-	res, err := r.RunCond(p, c, input, fp, concurrent, nil, nil)
+	res, err := r.RunCond(p, c, input, fp, concurrent, nil, nil, nil)
 	PutRunner(r)
 	return res, err
 }

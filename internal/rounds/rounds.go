@@ -1,11 +1,17 @@
 package rounds
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"kset/internal/vector"
 )
+
+// ErrCanceled reports a run aborted between rounds through Options.Cancel.
+// Callers driving the engine under a context map it back to the context's
+// error; the partially executed run produced no Result.
+var ErrCanceled = errors.New("rounds: run canceled")
 
 // ProcessID identifies a process; IDs are 1-based like the paper's p_1..p_n.
 type ProcessID int
@@ -205,6 +211,13 @@ type Options struct {
 	// see internal/faultnet). nil selects the engine's built-in
 	// MatrixTransport: the paper's reliable crash-respecting delivery.
 	Transport Transport
+	// Cancel, when non-nil, aborts the run between rounds once the
+	// channel is closed: the engine returns ErrCanceled instead of a
+	// Result. Batch drivers pass a context's Done channel here so an
+	// in-flight synchronous run stops at the next round boundary — at
+	// most one round of work after cancellation — instead of running to
+	// its MaxRounds bound. A nil channel costs nothing per round.
+	Cancel <-chan struct{}
 }
 
 // Engine executes synchronous runs while reusing its internal buffers
@@ -336,6 +349,13 @@ func (e *Engine) RunInto(res *Result, procs []Process, fp FailurePattern, opts O
 		opts.Trace.Rounds = opts.Trace.Rounds[:0]
 	}
 	for r := 1; r <= opts.MaxRounds; r++ {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				return nil, ErrCanceled
+			default:
+			}
+		}
 		if fast {
 			if e.runRoundShared(procs, fp, r, res) {
 				break

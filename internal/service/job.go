@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"kset"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// The job lifecycle: Queued → Running → one of Done, Failed or Canceled.
+const (
+	// StateQueued: accepted, waiting in its tenant's queue.
+	StateQueued State = "queued"
+	// StateRunning: dispatched, scenarios in flight.
+	StateRunning State = "running"
+	// StateDone: completed; the final stats (or sweep results) are set.
+	StateDone State = "done"
+	// StateFailed: aborted by an execution error.
+	StateFailed State = "failed"
+	// StateCanceled: canceled by DELETE, client disconnect or shutdown
+	// before completing.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one entry of a job's ordered event log — the unit of the SSE
+// stream. Every subscriber replays the log from the start, so the stream
+// a late subscriber sees is a prefix-complete copy of an early one's.
+type Event struct {
+	// Seq is the event's position in the log (the SSE id).
+	Seq int
+	// Type is the SSE event name: "running", "snapshot", "stats",
+	// "sweep", "error" or "canceled".
+	Type string
+	// Data is the event's pre-encoded JSON payload.
+	Data []byte
+}
+
+// Job is one accepted submission: a compiled spec, its lifecycle state
+// and its event log. All mutable state is guarded by mu; subscribers
+// wait on cond for new events.
+type Job struct {
+	// ID is the job's handle ("j-1", "j-2", …).
+	ID string
+	// Tenant is the queue the job was accepted into.
+	Tenant string
+
+	compiled *CompiledJob
+	progress *Progress
+	cancel   context.CancelFunc
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  State
+	events []Event
+	stats  *kset.CampaignStats
+	sweep  []kset.SweepResult
+	err    error
+	done   chan struct{}
+}
+
+// newJob builds a queued job around a compiled spec.
+func newJob(id string, c *CompiledJob) *Job {
+	j := &Job{
+		ID:       id,
+		Tenant:   c.Spec.Tenant,
+		compiled: c,
+		progress: &Progress{},
+		state:    StateQueued,
+		done:     make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// publish appends one event to the log and wakes subscribers. The
+// payload is marshaled compactly; marshal errors cannot happen for the
+// service's own payload types and would surface as an "error" event
+// downstream, so publish keeps the log consistent by encoding first.
+func (j *Job) publish(typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	j.mu.Lock()
+	j.events = append(j.events, Event{Seq: len(j.events), Type: typ, Data: data})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state, records the outcome, appends
+// the terminal event and releases waiters.
+func (j *Job) finish(state State, typ string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	j.mu.Lock()
+	j.state = state
+	j.events = append(j.events, Event{Seq: len(j.events), Type: typ, Data: data})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Cancel requests cancellation: in-flight work is stopped via the job's
+// context; a still-queued job is finished directly (the scheduler skips
+// canceled jobs at dispatch). Canceling a terminal job is a no-op.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	state := j.state
+	if state == StateQueued {
+		j.state = StateCanceled
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	switch {
+	case state == StateQueued:
+		j.finishCanceled()
+	case state == StateRunning && cancel != nil:
+		cancel()
+	}
+}
+
+// finishCanceled emits the canceled terminal event.
+func (j *Job) finishCanceled() {
+	data, _ := json.Marshal(errorBody{Code: "canceled", Message: "job canceled"})
+	j.mu.Lock()
+	j.events = append(j.events, Event{Seq: len(j.events), Type: "canceled", Data: data})
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// run executes the job under ctx, publishing periodic snapshots and the
+// terminal event. The scheduler calls it from a worker slot; it returns
+// when the job is terminal.
+func (j *Job) run(ctx context.Context, snapshotEvery time.Duration) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != StateQueued {
+		// Canceled while queued; the terminal event is already published.
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+	j.publish("running", statusPayload{ID: j.ID, Tenant: j.Tenant, State: StateRunning})
+
+	stop := make(chan struct{})
+	var ticking sync.WaitGroup
+	if snapshotEvery > 0 {
+		ticking.Add(1)
+		go func() {
+			defer ticking.Done()
+			t := time.NewTicker(snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					j.publish("snapshot", j.progress.Snapshot())
+				}
+			}
+		}()
+	}
+
+	var (
+		stats *kset.CampaignStats
+		sweep []kset.SweepResult
+		err   error
+	)
+	if j.compiled.Sweep() {
+		sweep, err = kset.RunSweep(ctx, j.compiled.points,
+			j.compiled.options([]kset.CampaignOption{kset.CollectInto(j.progress)})...)
+	} else {
+		stats, err = j.compiled.sys.RunSource(ctx, j.compiled.src,
+			j.compiled.options([]kset.CampaignOption{kset.CollectInto(j.progress)})...)
+	}
+	close(stop)
+	ticking.Wait()
+
+	// The stream always carries at least one snapshot, emitted after the
+	// run settles so the last snapshot covers every completed scenario.
+	j.publish("snapshot", j.progress.Snapshot())
+
+	j.mu.Lock()
+	j.stats, j.sweep, j.err = stats, sweep, err
+	j.mu.Unlock()
+	switch {
+	case err != nil && ctx.Err() != nil:
+		j.finish(StateCanceled, "canceled", errorBody{Code: "canceled", Message: err.Error()})
+	case err != nil:
+		j.finish(StateFailed, "error", errorBody{Code: "run_failed", Message: err.Error()})
+	case sweep != nil:
+		j.finish(StateDone, "sweep", sweep)
+	default:
+		j.finish(StateDone, "stats", stats)
+	}
+}
+
+// statusPayload is the JSON shape of a job's status.
+type statusPayload struct {
+	// ID, Tenant, Label and State identify the job and its phase.
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Label  string `json:"label,omitempty"`
+	State  State  `json:"state"`
+	// Runs counts scenarios completed so far; TotalRuns is the known
+	// total (omitted when the source size is unknown).
+	Runs      int64 `json:"runs"`
+	TotalRuns int64 `json:"total_runs,omitempty"`
+	// Error carries the failure message of a failed job.
+	Error string `json:"error,omitempty"`
+	// Stats and Sweep carry a terminal job's results.
+	Stats *kset.CampaignStats `json:"stats,omitempty"`
+	Sweep []kset.SweepResult  `json:"sweep,omitempty"`
+}
+
+// Status returns the job's current status; withResults includes the
+// terminal stats or sweep results.
+func (j *Job) Status(withResults bool) statusPayload {
+	j.mu.Lock()
+	st := statusPayload{
+		ID:     j.ID,
+		Tenant: j.Tenant,
+		Label:  j.compiled.Spec.Label,
+		State:  j.state,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if withResults {
+		st.Stats, st.Sweep = j.stats, j.sweep
+	}
+	j.mu.Unlock()
+	st.Runs = j.progress.Runs()
+	if total, ok := j.compiled.TotalRuns(); ok {
+		st.TotalRuns = total
+	}
+	return st
+}
+
+// Events streams the job's event log through fn in order, blocking for
+// new events until the job is terminal and the log fully delivered.
+// It returns fn's first error, or ctx.Err() if the subscriber's context
+// ends first.
+func (j *Job) Events(ctx context.Context, fn func(Event) error) error {
+	// Wake the cond waiter when the subscriber disconnects; without this
+	// a subscriber of an idle job would sleep past its own cancellation.
+	stop := context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	defer stop()
+
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.events) && !j.state.Terminal() && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		batch := j.events[next:]
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, ev := range batch {
+			if err := fn(ev); err != nil {
+				return err
+			}
+			next++
+		}
+		if terminal && len(batch) == 0 {
+			return nil
+		}
+	}
+}
+
+// errorBody is the JSON error payload of 4xx/5xx responses and terminal
+// error events: {"code": ..., "message": ...}.
+type errorBody struct {
+	// Code is the machine-readable error class; Message the human detail.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}

@@ -1,0 +1,360 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"kset"
+	"kset/internal/experiments"
+)
+
+// Config tunes a Server; the zero value gets sensible defaults.
+type Config struct {
+	// MaxActive bounds concurrently running jobs (default 2).
+	MaxActive int
+	// MaxQueuedPerTenant bounds each tenant's queue (default 1024).
+	MaxQueuedPerTenant int
+	// SnapshotInterval paces the SSE progress snapshots (default 250ms).
+	SnapshotInterval time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxActive == 0 {
+		c.MaxActive = 2
+	}
+	if c.MaxQueuedPerTenant == 0 {
+		c.MaxQueuedPerTenant = 1024
+	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the agreement-as-a-service core: it accepts declarative
+// JobSpecs over HTTP, schedules them fairly across tenants, streams
+// progress as server-sent events and exposes the paper's experiment
+// registry. Wire its Handler into an http.Server (cmd/ksetd does) or an
+// httptest.Server.
+type Server struct {
+	cfg   Config
+	ctx   context.Context
+	stop  context.CancelFunc
+	sched *Scheduler
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string
+	seq   int
+}
+
+// NewServer builds and starts the service core.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		jobs: make(map[string]*Job),
+	}
+	s.ctx, s.stop = context.WithCancel(context.Background())
+	s.sched = NewScheduler(cfg.MaxActive, cfg.MaxQueuedPerTenant, func(j *Job) {
+		j.run(s.ctx, cfg.SnapshotInterval)
+	})
+	s.sched.Start()
+	return s
+}
+
+// Drain stops accepting jobs and waits for everything accepted to
+// finish, or for ctx to expire. The graceful half of shutdown.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Close hard-stops the server: running jobs are canceled through their
+// base context and the dispatcher halts. Call Drain first for a graceful
+// exit.
+func (s *Server) Close() {
+	s.stop()
+	s.sched.Stop()
+}
+
+// Handler returns the service's HTTP routing. Routes are matched
+// manually (method checks per path), keeping the daemon on the Go 1.21
+// ServeMux feature set.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/campaigns", s.handleCampaigns)
+	mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
+	mux.HandleFunc("/v1/experiments", s.handleExperiments)
+	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
+	return mux
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the structured error body.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, struct {
+		Error errorBody `json:"error"`
+	}{errorBody{Code: code, Message: message}})
+}
+
+// writeCompileError maps a Compile error onto its sentinel code. The
+// sentinels are checked most-specific first: ErrDomainTooLarge and
+// ErrBadInput both exist precisely so that a client can tell "shrink the
+// domain" and "fix the vector" apart from a generally malformed spec.
+func writeCompileError(w http.ResponseWriter, err error) {
+	code := "bad_params"
+	switch {
+	case errors.Is(err, kset.ErrDomainTooLarge):
+		code = "domain_too_large"
+	case errors.Is(err, kset.ErrBadInput):
+		code = "bad_input"
+	}
+	writeError(w, http.StatusBadRequest, code, err.Error())
+}
+
+// handleHealth serves the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleCampaigns serves the collection: POST submits, GET lists.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.list(w, r)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", r.Method+" not allowed")
+	}
+}
+
+// decodeSpec decodes a JobSpec, rejecting unknown fields so typos in
+// field names fail loudly instead of silently configuring nothing.
+func decodeSpec(r *http.Request) (JobSpec, error) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, err
+	}
+	return spec, nil
+}
+
+// addJob registers a compiled job under a fresh ID.
+func (s *Server) addJob(c *CompiledJob) *Job {
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j-%d", s.seq)
+	j := newJob(id, c)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	return j
+}
+
+// submit handles POST /v1/campaigns: decode, compile (the validation
+// gate), enqueue. The default reply is 202 with the job's handle;
+// ?wait=1 blocks until the job is terminal and replies with its results,
+// canceling the job if the client disconnects first.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	spec, err := decodeSpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		return
+	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		spec.Tenant = t
+	}
+	if spec.Tenant == "" {
+		spec.Tenant = "default"
+	}
+	compiled, err := Compile(spec)
+	if err != nil {
+		writeCompileError(w, err)
+		return
+	}
+	j := s.addJob(compiled)
+	if err := s.sched.Enqueue(j); err != nil {
+		s.dropJob(j.ID)
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, "queue_full", err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, "internal", err.Error())
+		}
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		stop := context.AfterFunc(r.Context(), j.Cancel)
+		defer stop()
+		select {
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, j.Status(true))
+		case <-r.Context().Done():
+			// The client left; the AfterFunc cancels the job.
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status(false))
+}
+
+// dropJob removes a job that was never accepted by the scheduler.
+func (s *Server) dropJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	if n := len(s.order); n > 0 && s.order[n-1] == id {
+		s.order = s.order[:n-1]
+	}
+	s.mu.Unlock()
+}
+
+// list handles GET /v1/campaigns[?tenant=x]: job summaries in
+// submission order.
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && (tenant == "" || j.Tenant == tenant) {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	out := struct {
+		Jobs []statusPayload `json:"jobs"`
+	}{Jobs: make([]statusPayload, len(jobs))}
+	for i, j := range jobs {
+		out.Jobs[i] = j.Status(false)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves a job by ID.
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// handleCampaign serves one job: GET status, DELETE cancel, and the
+// /events SSE stream.
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/campaigns/")
+	id, sub, _ := strings.Cut(rest, "/")
+	j := s.lookup(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "not_found", "no job "+id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.Status(true))
+	case sub == "" && r.Method == http.MethodDelete:
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Status(false))
+	case sub == "events" && r.Method == http.MethodGet:
+		s.streamEvents(w, r, j)
+	case sub != "" && sub != "events":
+		writeError(w, http.StatusNotFound, "not_found", "no resource "+rest)
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", r.Method+" not allowed")
+	}
+}
+
+// streamEvents serves GET /v1/campaigns/{id}/events: the job's full
+// event log as server-sent events, replayed from the start and followed
+// live until the terminal event.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "no_stream", "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	_ = j.Events(r.Context(), func(ev Event) error {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, ev.Data); err != nil {
+			return err
+		}
+		flusher.Flush()
+		return nil
+	})
+}
+
+// handleExperiments serves GET /v1/experiments: the registry's specs.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", r.Method+" not allowed")
+		return
+	}
+	type expInfo struct {
+		ID       string             `json:"id"`
+		Title    string             `json:"title"`
+		Paper    string             `json:"paper"`
+		Defaults experiments.Params `json:"defaults,omitempty"`
+	}
+	specs := experiments.Registry()
+	out := struct {
+		Experiments []expInfo `json:"experiments"`
+	}{Experiments: make([]expInfo, len(specs))}
+	for i, sp := range specs {
+		out.Experiments[i] = expInfo{ID: sp.ID, Title: sp.Title, Paper: sp.Paper, Defaults: sp.Defaults}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExperiment serves POST /v1/experiments/{id}: run one registered
+// experiment synchronously, with optional parameter overrides
+// ({"params": {"n": 6, ...}}), and reply with its Report.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", r.Method+" not allowed")
+		return
+	}
+	if s.sched.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error())
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/experiments/")
+	sp, ok := experiments.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no experiment "+id)
+		return
+	}
+	var body struct {
+		Params experiments.Params `json:"params"`
+	}
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, sp.Run(sp.Defaults.With(body.Params)))
+}

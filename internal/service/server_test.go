@@ -1,0 +1,727 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer boots a service core plus httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := NewServer(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, ts
+}
+
+// validSpec is the canonical small job of the HTTP tests: 81 exhaustive
+// scenarios over {1..3}^4 against the max condition with x=1, ℓ=1.
+const validSpec = `{
+	"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+	"condition": {"kind": "max", "m": 3},
+	"source": {"kind": "exhaustive"}
+}`
+
+// post submits a body and returns the response.
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestSubmitValidationVectors is the submission-path validation table:
+// every malformed spec must be rejected at POST time with a structured
+// 400 body carrying the sentinel-derived code — not accepted and failed
+// later.
+func TestSubmitValidationVectors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	vectors := []struct {
+		name     string
+		body     string
+		wantCode string
+	}{
+		{
+			name:     "malformed JSON",
+			body:     `{"params": `,
+			wantCode: "bad_json",
+		},
+		{
+			name:     "unknown field",
+			body:     `{"parms": {"n": 4}}`,
+			wantCode: "bad_json",
+		},
+		{
+			name: "bad params: k = 0",
+			body: `{"params": {"n": 4, "t": 2, "k": 0, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3}, "source": {"kind": "exhaustive"}}`,
+			wantCode: "bad_params",
+		},
+		{
+			name: "bad params: missing condition for figure2",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "source": {"kind": "exhaustive", "m": 3}}`,
+			wantCode: "bad_params",
+		},
+		{
+			name: "bad params: unknown executor",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3}, "executor": "paxos",
+			       "source": {"kind": "exhaustive"}}`,
+			wantCode: "bad_params",
+		},
+		{
+			name: "bad params: unknown source kind",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3}, "source": {"kind": "everything"}}`,
+			wantCode: "bad_params",
+		},
+		{
+			name: "domain too large: m = 100",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 100}, "source": {"kind": "exhaustive"}}`,
+			wantCode: "domain_too_large",
+		},
+		{
+			name: "bad input: wrong vector length",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3},
+			       "source": {"kind": "inputs", "inputs": [[1, 2]]}}`,
+			wantCode: "bad_input",
+		},
+		{
+			name: "bad input: value outside domain",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3},
+			       "source": {"kind": "inputs", "inputs": [[1, 2, 3, 9]]}}`,
+			wantCode: "bad_input",
+		},
+		{
+			name: "bad fault plan: loss probability 1.5",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3}, "source": {"kind": "exhaustive"},
+			       "faults": {"kind": "uniform", "loss": 1.5}}`,
+			wantCode: "bad_params",
+		},
+		{
+			name: "bad fault plan: unknown family",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3}, "source": {"kind": "exhaustive"},
+			       "faults": {"kind": "hurricane"}}`,
+			wantCode: "bad_params",
+		},
+		{
+			name: "bad failures: crash id outside 1..n",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3}, "source": {"kind": "exhaustive"},
+			       "failures": {"kind": "explicit", "crashes": [{"id": 9, "round": 1}]}}`,
+			wantCode: "bad_params",
+		},
+		{
+			name: "conflicting executor and executors",
+			body: `{"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+			       "condition": {"kind": "max", "m": 3}, "executor": "early",
+			       "executors": ["figure2"], "source": {"kind": "exhaustive"}}`,
+			wantCode: "bad_params",
+		},
+	}
+	for _, tc := range vectors {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts.URL+"/v1/campaigns", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", resp.StatusCode, data)
+			}
+			var body struct {
+				Error errorBody `json:"error"`
+			}
+			if err := json.Unmarshal(data, &body); err != nil {
+				t.Fatalf("response is not the structured error shape: %v\n%s", err, data)
+			}
+			if body.Error.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q (message %q)", body.Error.Code, tc.wantCode, body.Error.Message)
+			}
+			if body.Error.Message == "" {
+				t.Error("empty error message")
+			}
+		})
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id    int
+	event string
+	data  string
+}
+
+// parseSSE splits a complete SSE stream into events.
+func parseSSE(t *testing.T, raw string) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	for _, block := range strings.Split(raw, "\n\n") {
+		if strings.TrimSpace(block) == "" {
+			continue
+		}
+		var ev sseEvent
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				fmt.Sscanf(line, "id: %d", &ev.id)
+			case strings.HasPrefix(line, "event: "):
+				ev.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				ev.data = strings.TrimPrefix(line, "data: ")
+			default:
+				t.Fatalf("unexpected SSE line %q", line)
+			}
+		}
+		evs = append(evs, ev)
+	}
+	return evs
+}
+
+// TestSSEStreamDeterminism pins the event stream's shape: with the
+// snapshot ticker effectively off, a completed job streams exactly
+// running → snapshot → stats, with contiguous ids, a final snapshot
+// covering every run, and a stats payload byte-identical to running the
+// same spec through the facade in-process.
+func TestSSEStreamDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, Config{SnapshotInterval: time.Hour})
+
+	resp, data := post(t, ts.URL+"/v1/campaigns?wait=1", validSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var status statusPayload
+	if err := json.Unmarshal(data, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.State != StateDone {
+		t.Fatalf("state = %q, want done (error %q)", status.State, status.Error)
+	}
+
+	streamOnce := func() []sseEvent {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + status.ID + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return parseSSE(t, string(raw))
+	}
+
+	evs := streamOnce()
+	want := []string{"running", "snapshot", "stats"}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(want), evs)
+	}
+	for i, ev := range evs {
+		if ev.id != i {
+			t.Errorf("event %d has id %d", i, ev.id)
+		}
+		if ev.event != want[i] {
+			t.Errorf("event %d = %q, want %q", i, ev.event, want[i])
+		}
+	}
+
+	// The final snapshot covers every scenario of the job.
+	var snap struct {
+		Runs int64 `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(evs[1].data), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Runs != 81 {
+		t.Errorf("final snapshot runs = %d, want 81", snap.Runs)
+	}
+
+	// Byte-identical contract: the terminal stats event equals the same
+	// job run through the facade in-process.
+	var spec JobSpec
+	if err := json.Unmarshal([]byte(validSpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := compiled.sys.RunSource(context.Background(), compiled.src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[2].data != string(wantJSON) {
+		t.Errorf("stats event diverges from in-process run:\n%s\nvs\n%s", evs[2].data, wantJSON)
+	}
+
+	// A replayed subscription sees the identical stream.
+	again := streamOnce()
+	if len(again) != len(evs) {
+		t.Fatalf("replay returned %d events, want %d", len(again), len(evs))
+	}
+	for i := range evs {
+		if again[i] != evs[i] {
+			t.Errorf("replayed event %d diverges:\n%+v\nvs\n%+v", i, again[i], evs[i])
+		}
+	}
+}
+
+// TestSnapshotMonotone runs a job with a fast ticker and checks every
+// streamed snapshot's run counter is non-decreasing and the stream still
+// terminates in the stats event.
+func TestSnapshotMonotone(t *testing.T) {
+	_, ts := newTestServer(t, Config{SnapshotInterval: time.Millisecond})
+	body := `{
+		"params": {"n": 4, "t": 2, "k": 1, "d": 1, "l": 1},
+		"condition": {"kind": "max", "m": 3},
+		"source": {"kind": "random", "seed": 3, "count": 5000}
+	}`
+	resp, data := post(t, ts.URL+"/v1/campaigns", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var status statusPayload
+	if err := json.Unmarshal(data, &status); err != nil {
+		t.Fatal(err)
+	}
+
+	get, err := http.Get(ts.URL + "/v1/campaigns/" + status.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	raw, err := io.ReadAll(get.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := parseSSE(t, string(raw))
+	if len(evs) < 3 {
+		t.Fatalf("only %d events: %+v", len(evs), evs)
+	}
+	if evs[len(evs)-1].event != "stats" {
+		t.Fatalf("terminal event = %q, want stats", evs[len(evs)-1].event)
+	}
+	var prev int64 = -1
+	snapshots := 0
+	for _, ev := range evs {
+		if ev.event != "snapshot" {
+			continue
+		}
+		snapshots++
+		var snap struct {
+			Runs int64 `json:"runs"`
+		}
+		if err := json.Unmarshal([]byte(ev.data), &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Runs < prev {
+			t.Fatalf("snapshot runs regressed: %d after %d", snap.Runs, prev)
+		}
+		prev = snap.Runs
+	}
+	if snapshots == 0 {
+		t.Fatal("no snapshots streamed")
+	}
+	if prev != 5000 {
+		t.Errorf("last snapshot runs = %d, want 5000", prev)
+	}
+}
+
+// TestCancelRunningJob cancels an in-flight job via DELETE and checks
+// the stream terminates with the canceled event and the job settles in
+// StateCanceled without counting aborted runs as errors.
+func TestCancelRunningJob(t *testing.T) {
+	svc, ts := newTestServer(t, Config{SnapshotInterval: time.Hour})
+	body := `{
+		"params": {"n": 6, "t": 3, "k": 2, "d": 1, "l": 1},
+		"condition": {"kind": "max", "m": 4},
+		"source": {"kind": "random", "seed": 9, "count": 50000000},
+		"failures": {"kind": "staggered"}
+	}`
+	resp, data := post(t, ts.URL+"/v1/campaigns", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var status statusPayload
+	if err := json.Unmarshal(data, &status); err != nil {
+		t.Fatal(err)
+	}
+	j := svc.lookup(status.ID)
+	if j == nil {
+		t.Fatal("job not registered")
+	}
+
+	// Wait until the job is demonstrably running, then cancel it.
+	deadline := time.Now().Add(10 * time.Second)
+	for j.progress.Runs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+status.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not settle after DELETE")
+	}
+	final := j.Status(true)
+	if final.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled", final.State)
+	}
+	if final.Runs == 0 || final.Runs >= 50000000 {
+		t.Fatalf("runs = %d, want partial progress", final.Runs)
+	}
+
+	get, err := http.Get(ts.URL + "/v1/campaigns/" + status.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	raw, err := io.ReadAll(get.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := parseSSE(t, string(raw))
+	if last := evs[len(evs)-1]; last.event != "canceled" {
+		t.Fatalf("terminal event = %q, want canceled: %+v", last.event, evs)
+	}
+}
+
+// TestCancelQueuedJob cancels a job that never left its queue: with a
+// single busy slot, the queued job must settle as canceled without
+// running a single scenario.
+func TestCancelQueuedJob(t *testing.T) {
+	svc, ts := newTestServer(t, Config{MaxActive: 1, SnapshotInterval: time.Hour})
+	blocker := `{
+		"params": {"n": 6, "t": 3, "k": 2, "d": 1, "l": 1},
+		"condition": {"kind": "max", "m": 4},
+		"source": {"kind": "random", "seed": 9, "count": 50000000}
+	}`
+	resp, data := post(t, ts.URL+"/v1/campaigns", blocker)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker: status %d: %s", resp.StatusCode, data)
+	}
+	var blockerStatus statusPayload
+	if err := json.Unmarshal(data, &blockerStatus); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = post(t, ts.URL+"/v1/campaigns", validSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued: status %d: %s", resp.StatusCode, data)
+	}
+	var queued statusPayload
+	if err := json.Unmarshal(data, &queued); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+queued.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	j := svc.lookup(queued.ID)
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued job did not settle after DELETE")
+	}
+	if st := j.Status(false); st.State != StateCanceled || st.Runs != 0 {
+		t.Fatalf("queued job: state %q runs %d, want canceled with 0 runs", st.State, st.Runs)
+	}
+
+	// Unblock the busy slot so Cleanup does not wait on a monster job.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+blockerStatus.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+	<-svc.lookup(blockerStatus.ID).Done()
+}
+
+// TestWaitDisconnectCancels submits with ?wait=1 and drops the client:
+// the in-flight job must be canceled by the disconnect.
+func TestWaitDisconnectCancels(t *testing.T) {
+	svc, ts := newTestServer(t, Config{SnapshotInterval: time.Hour})
+	body := `{
+		"params": {"n": 6, "t": 3, "k": 2, "d": 1, "l": 1},
+		"condition": {"kind": "max", "m": 4},
+		"source": {"kind": "random", "seed": 11, "count": 50000000}
+	}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/campaigns?wait=1", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait for the job to appear and start, then sever the client.
+	var j *Job
+	deadline := time.Now().Add(10 * time.Second)
+	for j == nil || j.progress.Runs() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		j = svc.lookup("j-1")
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("job not canceled by client disconnect")
+	}
+	if st := j.Status(false); st.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled", st.State)
+	}
+}
+
+// TestGracefulDrain submits work, drains, and checks the contract: the
+// accepted jobs all finish, and post-drain submissions are rejected with
+// the structured 503.
+func TestGracefulDrain(t *testing.T) {
+	svc, ts := newTestServer(t, Config{MaxActive: 2})
+	const jobs = 6
+	ids := make([]string, jobs)
+	for i := range ids {
+		resp, data := post(t, ts.URL+"/v1/campaigns", validSpec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, data)
+		}
+		var st statusPayload
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, id := range ids {
+		if st := svc.lookup(id).Status(false); st.State != StateDone {
+			t.Errorf("job %s: state %q after drain, want done", id, st.State)
+		}
+	}
+
+	resp, data := post(t, ts.URL+"/v1/campaigns", validSpec)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: status %d, want 503: %s", resp.StatusCode, data)
+	}
+	var body struct {
+		Error errorBody `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil || body.Error.Code != "draining" {
+		t.Fatalf("post-drain body = %s (decode err %v), want code draining", data, err)
+	}
+	resp, data = post(t, ts.URL+"/v1/experiments/E2", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain experiment: status %d, want 503: %s", resp.StatusCode, data)
+	}
+}
+
+// TestStatusAndList exercises the read endpoints: status carries the
+// terminal stats, the list filters by tenant, unknown IDs 404.
+func TestStatusAndList(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	submit := func(tenant string) statusPayload {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/campaigns?wait=1", strings.NewReader(validSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+		}
+		var st statusPayload
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a := submit("alice")
+	b := submit("bob")
+	if a.Tenant != "alice" || b.Tenant != "bob" {
+		t.Fatalf("tenants = %q, %q", a.Tenant, b.Tenant)
+	}
+	if a.State != StateDone || a.Stats == nil || a.Stats.Runs != 81 {
+		t.Fatalf("terminal status lacks stats: %+v", a)
+	}
+
+	resp, data := func() (*http.Response, []byte) {
+		resp, err := http.Get(ts.URL + "/v1/campaigns?tenant=alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		d, _ := io.ReadAll(resp.Body)
+		return resp, d
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	var list struct {
+		Jobs []statusPayload `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != a.ID {
+		t.Fatalf("tenant filter returned %+v", list.Jobs)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/campaigns/j-999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown id: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestSweepJob submits a degree-sweep job and checks the terminal event
+// is the keyed per-degree result list.
+func TestSweepJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{SnapshotInterval: time.Hour})
+	body := `{
+		"params": {"n": 4, "t": 2, "k": 1, "l": 1},
+		"sweep": {"kind": "degrees", "m": 3},
+		"source": {"kind": "members"}
+	}`
+	resp, data := post(t, ts.URL+"/v1/campaigns?wait=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	var st statusPayload
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state = %q (error %q)", st.State, st.Error)
+	}
+	// Degrees d = 0..t−ℓ = 0, 1.
+	if len(st.Sweep) != 2 || st.Sweep[0].Key != "d=0" || st.Sweep[1].Key != "d=1" {
+		t.Fatalf("sweep results = %+v, want keys d=0, d=1", st.Sweep)
+	}
+	for _, r := range st.Sweep {
+		if r.Stats == nil || r.Stats.Runs == 0 {
+			t.Fatalf("sweep point %s has no runs", r.Key)
+		}
+	}
+}
+
+// TestExperimentEndpoints lists the registry and runs one experiment
+// with an override.
+func TestExperimentEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	var list struct {
+		Experiments []struct {
+			ID string `json:"id"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Experiments) != 11 || list.Experiments[0].ID != "E1" {
+		t.Fatalf("registry listing = %+v", list.Experiments)
+	}
+
+	resp, data = post(t, ts.URL+"/v1/experiments/E1", `{"params": {"n": 3, "m": 2, "xmax": 1, "lmax": 2}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run E1: status %d: %s", resp.StatusCode, data)
+	}
+	var report struct {
+		ID     string         `json:"id"`
+		OK     bool           `json:"ok"`
+		Params map[string]int `json:"params"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.ID != "E1" || !report.OK || report.Params["n"] != 3 {
+		t.Fatalf("report = %+v", report)
+	}
+
+	resp, data = post(t, ts.URL+"/v1/experiments/E99", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestHealthz pins the liveness probe.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body.String())
+	}
+}

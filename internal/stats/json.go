@@ -1,0 +1,68 @@
+package stats
+
+import "encoding/json"
+
+// This file is the accumulator's wire format: the JSON decode half that
+// turns the deterministic MarshalJSON encoding back into a live,
+// mergeable Accumulator, and the deep-copying Snapshot that lets one
+// goroutine publish a consistent view of an accumulator another
+// goroutine keeps folding into. Together they are the transport of the
+// results plane — ksetd streams snapshot encodings as SSE progress
+// events, and sharded or checkpointed campaigns decode persisted
+// accumulators and Merge them as if the runs had happened locally.
+
+// histogramJSON mirrors Histogram's MarshalJSON encoding: the tracked
+// buckets trimmed to the highest non-empty round plus the exact overflow
+// summary when present.
+type histogramJSON struct {
+	Counts   []int64  `json:"counts"`
+	Overflow *Summary `json:"overflow,omitempty"`
+}
+
+// UnmarshalJSON decodes the trimmed-bucket encoding MarshalJSON emits.
+// Decoding then re-encoding is byte-identical, and a decoded histogram
+// merges exactly like the original: counts beyond the tracked range are
+// rejected nowhere because MarshalJSON never emits more than
+// HistogramBuckets tracked counts.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var raw histogramJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*h = Histogram{}
+	copy(h.Buckets[:], raw.Counts)
+	if raw.Overflow != nil {
+		h.Overflow = *raw.Overflow
+	}
+	return nil
+}
+
+// Snapshot returns a deep copy of the accumulator: the fixed-size
+// counters and histograms by value, the fault tally and every breakdown
+// group freshly allocated. The copy shares no mutable state with a, so a
+// progress publisher can hand it to encoders and subscribers while the
+// original keeps observing. Snapshots merge like any accumulator.
+func (a *Accumulator) Snapshot() *Accumulator {
+	out := *a
+	if a.Faults != nil {
+		f := *a.Faults
+		out.Faults = &f
+	}
+	out.ByExecutor = copyGroups(a.ByExecutor)
+	out.ByCrashes = copyGroups(a.ByCrashes)
+	out.ByLabel = copyGroups(a.ByLabel)
+	return &out
+}
+
+// copyGroups deep-copies one breakdown map (nil stays nil).
+func copyGroups[K comparable](m map[K]*Group) map[K]*Group {
+	if m == nil {
+		return nil
+	}
+	out := make(map[K]*Group, len(m))
+	for k, g := range m {
+		c := *g
+		out[k] = &c
+	}
+	return out
+}

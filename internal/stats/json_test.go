@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// randomObservation draws one observation exercising every accumulator
+// field: errors, verdicts, faults, all three breakdowns, and rounds both
+// inside and beyond the tracked histogram range.
+func randomObservation(rng *rand.Rand) Observation {
+	o := Observation{
+		Round:    rng.Intn(HistogramBuckets + 20),
+		Messages: int64(rng.Intn(500)),
+		Crashes:  rng.Intn(4),
+		Decided:  rng.Intn(8),
+	}
+	switch rng.Intn(4) {
+	case 0:
+		o.Executor = "figure2"
+	case 1:
+		o.Executor = "early"
+	case 2:
+		o.Executor = "classical"
+	}
+	if rng.Intn(3) == 0 {
+		o.Label = "sweep"
+	}
+	if rng.Intn(10) == 0 {
+		o.Err = true
+	}
+	if rng.Intn(2) == 0 {
+		o.InCondition = true
+	}
+	if rng.Intn(3) == 0 {
+		o.Verified = true
+		o.Violation = rng.Intn(20) == 0
+	}
+	if rng.Intn(4) == 0 {
+		o.Lost = int64(rng.Intn(5))
+		o.Delayed = int64(rng.Intn(5))
+		o.Undecided = rng.Intn(2)
+	}
+	return o
+}
+
+// fill feeds count random observations into a fresh accumulator.
+func fill(seed int64, count int) *Accumulator {
+	rng := rand.New(rand.NewSource(seed))
+	acc := NewAccumulator()
+	for i := 0; i < count; i++ {
+		acc.Observe(randomObservation(rng))
+	}
+	return acc
+}
+
+// TestAccumulatorJSONRoundTrip checks the wire format is lossless:
+// encode → decode → encode is byte-identical, for accumulators with
+// overflowed rounds, fault tallies and all three breakdowns populated.
+func TestAccumulatorJSONRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		acc := fill(seed, 400)
+		first, err := json.Marshal(acc)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var decoded Accumulator
+		if err := json.Unmarshal(first, &decoded); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		second, err := json.Marshal(&decoded)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("seed %d: round trip not byte-identical:\n first: %s\nsecond: %s", seed, first, second)
+		}
+	}
+}
+
+// TestHistogramJSONRoundTrip pins the trimmed-bucket encoding: tracked
+// buckets, overflow summary and the empty histogram all survive decode.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, r := range []int{0, 1, 1, 7, HistogramBuckets - 1, HistogramBuckets + 5, 200} {
+		h.Observe(r)
+	}
+	for _, hist := range []Histogram{h, {}} {
+		raw, err := json.Marshal(hist)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Histogram
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if back != hist {
+			t.Fatalf("round trip changed histogram: %+v != %+v", back, hist)
+		}
+	}
+}
+
+// TestMergeAfterDecode checks the checkpointing contract: decoding two
+// shards from their wire form and merging them yields the same
+// accumulator — byte for byte — as merging the originals in memory.
+func TestMergeAfterDecode(t *testing.T) {
+	a, b := fill(11, 300), fill(12, 500)
+
+	direct := a.Snapshot()
+	direct.Merge(b)
+
+	var da, db Accumulator
+	for _, pair := range []struct {
+		src *Accumulator
+		dst *Accumulator
+	}{{a, &da}, {b, &db}} {
+		raw, err := json.Marshal(pair.src)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if err := json.Unmarshal(raw, pair.dst); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+	}
+	da.Merge(&db)
+
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatalf("marshal direct: %v", err)
+	}
+	got, err := json.Marshal(&da)
+	if err != nil {
+		t.Fatalf("marshal decoded: %v", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("merge-after-decode diverged:\n want: %s\n  got: %s", want, got)
+	}
+}
+
+// TestSnapshotIsolation checks a snapshot is a deep copy: observing into
+// the original afterwards leaves the snapshot untouched.
+func TestSnapshotIsolation(t *testing.T) {
+	acc := fill(21, 100)
+	snap := acc.Snapshot()
+	before, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 200; i++ {
+		acc.Observe(randomObservation(rng))
+	}
+	after, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("snapshot mutated by later observations:\nbefore: %s\n after: %s", before, after)
+	}
+	if snap.Runs == acc.Runs {
+		t.Fatalf("original did not advance past the snapshot")
+	}
+}

@@ -25,6 +25,10 @@ cd "$(dirname "$0")/.."
 # matrix arm is the campaign hot path and must stay allocation-free (the
 # seam is an interface dispatch, not a cost), and the warmed zero-fault
 # faultnet arm must amortize to zero as well (measured: 0 / 0 at PR 6).
+# SubmitPath is ksetd's submission loop — decode a JobSpec, compile it to
+# a System + scenario stream, register and enqueue the job — which must
+# stay flat for the daemon to absorb thousands of queued submissions on a
+# 1-CPU container (measured: 30 at PR 7).
 budgets='
 BenchmarkE1Lattice 2400
 BenchmarkE9Adversary 400
@@ -32,10 +36,11 @@ BenchmarkCampaignThroughput/campaign 4
 BenchmarkCollectorPath 700
 BenchmarkEngineTransport/matrix 0
 BenchmarkEngineTransport/faultnet 0
+BenchmarkSubmitPath 40
 '
 
-raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport' \
-	-benchmem -benchtime "$benchtime" -count 1 . ./internal/rounds/)"
+raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport|SubmitPath$' \
+	-benchmem -benchtime "$benchtime" -count 1 . ./internal/rounds/ ./internal/service/)"
 printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk -v budgets="$budgets" '

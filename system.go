@@ -2,6 +2,7 @@ package kset
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -198,12 +199,13 @@ func (figure2Exec) synchronous() bool { return true }
 func (figure2Exec) check(s *System) error {
 	return s.p.ValidateWith(s.cond)
 }
-func (figure2Exec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
+func (figure2Exec) run(ctx context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
 	tr, err := w.transport(s, sc)
 	if err != nil {
 		return nil, err
 	}
-	return w.runner.RunCond(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, res)
+	out, err := w.runner.RunCond(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, ctx.Done(), res)
+	return mapCanceled(ctx, out, err)
 }
 
 type earlyExec struct{}
@@ -213,12 +215,13 @@ func (earlyExec) synchronous() bool { return true }
 func (earlyExec) check(s *System) error {
 	return s.p.ValidateWith(s.cond)
 }
-func (earlyExec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
+func (earlyExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
 	tr, err := w.transport(s, sc)
 	if err != nil {
 		return nil, err
 	}
-	return w.runner.RunEarly(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, res)
+	out, err := w.runner.RunEarly(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, ctx.Done(), res)
+	return mapCanceled(ctx, out, err)
 }
 
 type classicalExec struct{}
@@ -228,12 +231,13 @@ func (classicalExec) synchronous() bool { return true }
 func (classicalExec) check(s *System) error {
 	return core.ValidateClassical(s.p.N, s.p.T, s.p.K)
 }
-func (classicalExec) run(_ context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
+func (classicalExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
 	tr, err := w.transport(s, sc)
 	if err != nil {
 		return nil, err
 	}
-	return w.runner.RunClassical(s.p.N, s.p.T, s.p.K, sc.Input, sc.FP, s.procGoroutines, tr, res)
+	out, err := w.runner.RunClassical(s.p.N, s.p.T, s.p.K, sc.Input, sc.FP, s.procGoroutines, tr, ctx.Done(), res)
+	return mapCanceled(ctx, out, err)
 }
 
 type asyncExec struct{}
@@ -284,6 +288,20 @@ func (asyncExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, re
 		res.Crashed[ProcessID(id)] = true
 	}
 	return res, nil
+}
+
+// mapCanceled converts the engine's between-rounds abort sentinel into
+// the context's own error, so callers of Run/RunScenario and campaign
+// outcomes observe context.Canceled/DeadlineExceeded — never the
+// internal rounds.ErrCanceled — when a client disconnect or a DELETE
+// stops in-flight synchronous work.
+func mapCanceled(ctx context.Context, res *Result, err error) (*Result, error) {
+	if err != nil && errors.Is(err, rounds.ErrCanceled) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, err
 }
 
 // worker bundles the per-worker reusable state of a System: the engine and
