@@ -450,3 +450,35 @@ func BenchmarkNBCounting(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCheckpointEncode prices one checkpoint emission — snapshot a
+// populated accumulator, wrap it in the versioned envelope, encode to
+// JSON — which is what a campaign pays every N runs when checkpointing.
+// The budget (see scripts/benchgate.sh) keeps the cost bounded by the
+// accumulator's breakdown cardinality, never by the runs it covers, so
+// checkpointing cannot regress the 1-alloc/run campaign hot path.
+func BenchmarkCheckpointEncode(b *testing.B) {
+	acc := &kset.Accumulator{}
+	for i := 0; i < 4096; i++ {
+		acc.Observe(kset.Observation{
+			Round: 1 + i%4, Messages: int64(20 + i%9), Crashes: i % 3,
+			Decided: 6, InCondition: i%2 == 0, Verified: true,
+			Executor: []string{"figure2", "early", "classical"}[i%3],
+		})
+	}
+	cp := kset.Checkpoint{
+		Version:  kset.CheckpointVersion,
+		Cursor:   kset.Cursor{Lo: 0, Hi: 8192},
+		RunsDone: 4096,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp.Stats = acc.Snapshot()
+		data, err := kset.EncodeCheckpoint(cp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = data
+	}
+}

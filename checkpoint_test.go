@@ -1,0 +1,212 @@
+package kset_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"kset"
+)
+
+// checkpointSystem builds the system and source every checkpoint test
+// shares: a 4-process condition system over a cross-product sweep large
+// enough to cut at interesting places (5 inputs × 4 patterns × 2
+// executors = 40 runs).
+func checkpointSystem(t *testing.T) (*kset.System, kset.ScenarioSource) {
+	t.Helper()
+	p := kset.Params{N: 4, T: 2, K: 2, D: 1, L: 1}
+	cond, err := kset.NewMaxCondition(p.N, 3, p.X(), p.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond))
+	src := kset.CrossExecutors(
+		kset.FailureSchedules(
+			kset.RandomInputs(21, p.N, 3, 5),
+			kset.RandomCrashFamily(23, p.N, p.T, p.RMax(), 4),
+		),
+		kset.Figure2, kset.EarlyDeciding,
+	)
+	return sys, src
+}
+
+// marshal renders campaign stats as canonical JSON.
+func marshal(t *testing.T, st *kset.CampaignStats) []byte {
+	t.Helper()
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestRunCheckpointedMatchesUninterrupted: chunked execution with
+// checkpoint emission is invisible in the result — any chunk size yields
+// stats JSON byte-identical to one straight RunSource.
+func TestRunCheckpointedMatchesUninterrupted(t *testing.T) {
+	sys, src := checkpointSystem(t)
+	base, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, base)
+	total, _ := src.Size()
+	for _, every := range []int64{0, 1, 7, 16, total, total + 5} {
+		emitted := 0
+		st, err := sys.RunCheckpointed(context.Background(), src, nil, every,
+			func(cp kset.Checkpoint) error {
+				emitted++
+				if err := cp.Validate(); err != nil {
+					return err
+				}
+				if cp.Cursor.Len() != total {
+					t.Fatalf("every=%d: checkpoint cursor %+v, want len %d", every, cp.Cursor, total)
+				}
+				return nil
+			}, kset.VerifyRuns())
+		if err != nil {
+			t.Fatalf("every=%d: %v", every, err)
+		}
+		if got := marshal(t, st); string(got) != string(want) {
+			t.Fatalf("every=%d: chunked stats differ\n%s\nvs\n%s", every, got, want)
+		}
+		wantEmits := 1
+		if every > 0 && every < total {
+			wantEmits = int((total + every - 1) / every)
+		}
+		if emitted != wantEmits {
+			t.Fatalf("every=%d: %d checkpoints emitted, want %d", every, emitted, wantEmits)
+		}
+	}
+}
+
+// TestCheckpointKillResume is the crash-tolerance contract: run to ~40%,
+// "kill" the process there, carry only the checkpoint's serialized bytes
+// into a freshly constructed system, resume, and get stats JSON
+// byte-identical to the uninterrupted run.
+func TestCheckpointKillResume(t *testing.T) {
+	sys, src := checkpointSystem(t)
+	base, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, base)
+	total, _ := src.Size()
+	every := total * 2 / 5 // first checkpoint lands at ~40%
+
+	killed := errors.New("simulated crash")
+	var persisted []byte
+	_, err = sys.RunCheckpointed(context.Background(), src, nil, every,
+		func(cp kset.Checkpoint) error {
+			data, err := kset.EncodeCheckpoint(cp)
+			if err != nil {
+				return err
+			}
+			persisted = data
+			return killed // die right after the first persist
+		}, kset.VerifyRuns())
+	if !errors.Is(err, killed) {
+		t.Fatalf("kill run: err = %v, want the sink's error", err)
+	}
+	if persisted == nil {
+		t.Fatal("no checkpoint persisted before the kill")
+	}
+
+	// "Fresh process": new system, new source value, only the bytes carry
+	// over. The source is rebuilt from the same construction parameters,
+	// exactly as a restarted worker would rebuild it.
+	sys2, src2 := checkpointSystem(t)
+	cp, err := kset.DecodeCheckpoint(persisted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.RunsDone != every {
+		t.Fatalf("resumed checkpoint covers %d runs, want %d", cp.RunsDone, every)
+	}
+	st, err := sys2.RunCheckpointed(context.Background(), src2, &cp, every, nil, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(t, st); string(got) != string(want) {
+		t.Fatalf("resumed stats differ from uninterrupted run\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestResumeFromEveryCheckpoint resumes from each checkpoint a chunked
+// run emits — every cut position — and checks each resume reproduces the
+// uninterrupted result byte for byte.
+func TestResumeFromEveryCheckpoint(t *testing.T) {
+	sys, src := checkpointSystem(t)
+	base, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, base)
+
+	var cuts [][]byte
+	if _, err := sys.RunCheckpointed(context.Background(), src, nil, 7,
+		func(cp kset.Checkpoint) error {
+			data, err := kset.EncodeCheckpoint(cp)
+			if err != nil {
+				return err
+			}
+			cuts = append(cuts, data)
+			return nil
+		}, kset.VerifyRuns()); err != nil {
+		t.Fatal(err)
+	}
+	if len(cuts) < 2 {
+		t.Fatalf("only %d checkpoints emitted", len(cuts))
+	}
+	for i, data := range cuts {
+		cp, err := kset.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+		st, err := sys.RunCheckpointed(context.Background(), src, &cp, 0, nil, kset.VerifyRuns())
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d: %v", i, err)
+		}
+		if got := marshal(t, st); string(got) != string(want) {
+			t.Fatalf("resume from checkpoint %d differs\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}
+
+// TestRunCheckpointedValidation pins the entry point's error contract.
+func TestRunCheckpointedValidation(t *testing.T) {
+	sys, src := checkpointSystem(t)
+	unsized := kset.ExhaustiveInputs(64, 4)
+	if _, err := sys.RunCheckpointed(context.Background(), unsized, nil, 5, nil); !errors.Is(err, kset.ErrUnsizedSource) {
+		t.Fatalf("unsized fresh start: %v, want ErrUnsizedSource", err)
+	}
+	bad := kset.Checkpoint{Version: 99, Cursor: kset.Cursor{Lo: 0, Hi: 5}}
+	if _, err := sys.RunCheckpointed(context.Background(), src, &bad, 5, nil); !errors.Is(err, kset.ErrBadCheckpoint) {
+		t.Fatalf("bad resume: %v, want ErrBadCheckpoint", err)
+	}
+	// Root-level decode rejects corrupt bytes with the same sentinel.
+	if _, err := kset.DecodeCheckpoint([]byte("{")); !errors.Is(err, kset.ErrBadCheckpoint) {
+		t.Fatalf("DecodeCheckpoint: %v, want ErrBadCheckpoint", err)
+	}
+	// A fully resumed checkpoint has nothing left to run: the stats are
+	// exactly its snapshot.
+	total, _ := src.Size()
+	base, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneCP := kset.Checkpoint{
+		Version:  kset.CheckpointVersion,
+		Cursor:   kset.Cursor{Lo: 0, Hi: total},
+		RunsDone: total,
+		Stats:    base.Metrics.Snapshot(),
+	}
+	st, err := sys.RunCheckpointed(context.Background(), src, &doneCP, 5, nil, kset.VerifyRuns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshal(t, st), marshal(t, base); string(got) != string(want) {
+		t.Fatalf("fully-resumed stats differ\n%s\nvs\n%s", got, want)
+	}
+}

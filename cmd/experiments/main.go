@@ -17,6 +17,13 @@
 //	experiments [-json] [-only E4[,E5,...]]
 //	experiments -list [-json]
 //	experiments -campaign [-json] [-runs 30000] [-seed 1] [-workers 8]
+//	experiments -campaign -shard 0/4 [-json] ...
+//
+// With -shard i/K the campaign runs only shard i of the deterministic
+// K-way split of the same scenario stream: K processes, one per shard
+// index, cover the sweep exactly once between them, and their JSON
+// reports' metrics fold back into the single-process result via ksetd's
+// POST /v1/merge (or any client that merges accumulators).
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"kset"
@@ -48,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 	runs := fs.Int("runs", 30000, "campaign: number of scenarios")
 	seed := fs.Int64("seed", 1, "campaign: random seed (same seed ⇒ same stats)")
 	workers := fs.Int("workers", 0, "campaign: worker count (0 = GOMAXPROCS)")
+	shardSpec := fs.String("shard", "", "campaign: run shard i of a K-way split, as i/K (e.g. 0/4)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,7 +64,7 @@ func run(args []string, stdout io.Writer) error {
 	case *list:
 		return runList(stdout, *asJSON)
 	case *campaign:
-		return runCampaign(stdout, *asJSON, *runs, *seed, *workers)
+		return runCampaign(stdout, *asJSON, *runs, *seed, *workers, *shardSpec)
 	}
 
 	var ids []string
@@ -90,6 +99,24 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// parseShard parses the -shard flag's i/K form. Empty means unsharded
+// (k = 0); otherwise both halves must be integers with 0 ≤ i < K.
+func parseShard(spec string) (i, k int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	is, ks, ok := strings.Cut(spec, "/")
+	if ok {
+		if i, err = strconv.Atoi(strings.TrimSpace(is)); err == nil {
+			k, err = strconv.Atoi(strings.TrimSpace(ks))
+		}
+	}
+	if !ok || err != nil || k < 1 || i < 0 || i >= k {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/K with 0 <= i < K", spec)
+	}
+	return i, k, nil
+}
+
 // runList prints the experiment registry: IDs, paper anchors, titles and
 // default parameters.
 func runList(stdout io.Writer, asJSON bool) error {
@@ -116,7 +143,7 @@ func runList(stdout io.Writer, asJSON bool) error {
 // accumulator. The structured cross product factors the requested run
 // budget into inputs × patterns × executors, so the sweep covers every
 // combination rather than one random pairing per run.
-func runCampaign(stdout io.Writer, asJSON bool, runs int, seed int64, workers int) error {
+func runCampaign(stdout io.Writer, asJSON bool, runs int, seed int64, workers int, shardSpec string) error {
 	p := kset.Params{N: 8, T: 5, K: 2, D: 3, L: 1}
 	const m = 4
 	cond, err := kset.NewMaxCondition(p.N, m, p.X(), p.L)
@@ -142,23 +169,47 @@ func runCampaign(stdout io.Writer, asJSON bool, runs int, seed int64, workers in
 		),
 		execs...,
 	)
+	total, _ := src.Size()
+
+	shardIdx, shardK, err := parseShard(shardSpec)
+	if err != nil {
+		return err
+	}
+	if shardK > 0 {
+		src, err = kset.ShardSource(src, shardIdx, shardK)
+		if err != nil {
+			return err
+		}
+	}
 
 	stats, err := sys.RunSource(context.Background(), src, kset.VerifyRuns())
 	if err != nil {
 		return err
 	}
 
-	total, _ := src.Size()
+	params := experiments.Params{
+		"n": p.N, "t": p.T, "k": p.K, "d": p.D, "l": p.L, "m": m,
+		"inputs": inputs, "patterns": patterns, "executors": len(execs),
+		"scenarios": int(total), "seed": int(seed),
+	}
+	if shardK > 0 {
+		params["shard"] = shardIdx
+		params["shards"] = shardK
+	}
+	// Embed the raw accumulator so the JSON report is a mergeable shard:
+	// ksetd's POST /v1/merge folds campaign reports by their "metrics"
+	// field, letting K sharded runs reconstruct the unsharded stats.
+	metrics, err := json.Marshal(stats.Metrics)
+	if err != nil {
+		return err
+	}
 	r := experiments.Report{
-		ID:    "campaign",
-		Title: "generated load sweep: random inputs × crash patterns × executors",
-		Paper: "§6.2",
-		OK:    stats.Violations == 0 && stats.Errors == 0,
-		Params: experiments.Params{
-			"n": p.N, "t": p.T, "k": p.K, "d": p.D, "l": p.L, "m": m,
-			"inputs": inputs, "patterns": patterns, "executors": len(execs),
-			"scenarios": int(total), "seed": int(seed),
-		},
+		ID:      "campaign",
+		Title:   "generated load sweep: random inputs × crash patterns × executors",
+		Paper:   "§6.2",
+		OK:      stats.Violations == 0 && stats.Errors == 0,
+		Params:  params,
+		Metrics: metrics,
 	}
 	acc := stats.Metrics
 

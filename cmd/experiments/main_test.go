@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
+
+	"kset"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden file from this run")
@@ -90,5 +95,145 @@ func TestListAndCampaignSmoke(t *testing.T) {
 	}
 	if err := run([]string{"-only", "E99"}, &buf); err == nil {
 		t.Error("unknown -only id must error")
+	}
+}
+
+// TestParseShard pins the -shard flag's grammar.
+func TestParseShard(t *testing.T) {
+	if i, k, err := parseShard(""); err != nil || i != 0 || k != 0 {
+		t.Fatalf("empty spec = (%d, %d, %v), want unsharded", i, k, err)
+	}
+	if i, k, err := parseShard("2/5"); err != nil || i != 2 || k != 5 {
+		t.Fatalf("2/5 = (%d, %d, %v)", i, k, err)
+	}
+	for _, bad := range []string{"3", "a/b", "1/", "/4", "-1/4", "4/4", "5/4", "1/0", "1/-2"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCampaignShardsPartitionRuns runs the campaign split -shard i/3 and
+// checks the shards cover the unsharded sweep exactly: per-shard run
+// counts sum to the full count, and each shard's report is itself
+// deterministic run to run.
+func TestCampaignShardsPartitionRuns(t *testing.T) {
+	type report struct {
+		Params struct {
+			Scenarios int64 `json:"scenarios"`
+			Shard     int   `json:"shard"`
+			Shards    int   `json:"shards"`
+		} `json:"params"`
+		Sections []struct {
+			Name  string `json:"name"`
+			Table struct {
+				Rows [][]string `json:"rows"`
+			} `json:"table"`
+		} `json:"sections"`
+	}
+	runsOf := func(t *testing.T, raw []byte) int64 {
+		t.Helper()
+		var r report
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatalf("decode report: %v\n%s", err, raw)
+		}
+		for _, sec := range r.Sections {
+			if sec.Name != "totals" {
+				continue
+			}
+			for _, row := range sec.Table.Rows {
+				if row[0] == "runs" {
+					n, err := strconv.ParseInt(row[1], 10, 64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return n
+				}
+			}
+		}
+		t.Fatalf("no runs row in report:\n%s", raw)
+		return 0
+	}
+
+	var buf bytes.Buffer
+	args := []string{"-campaign", "-json", "-runs", "120", "-workers", "2"}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("unsharded: %v", err)
+	}
+	total := runsOf(t, buf.Bytes())
+
+	var sum int64
+	for i := 0; i < 3; i++ {
+		spec := fmt.Sprintf("%d/3", i)
+		var first, second bytes.Buffer
+		if err := run(append(args, "-shard", spec), &first); err != nil {
+			t.Fatalf("shard %s: %v", spec, err)
+		}
+		if err := run(append(args, "-shard", spec), &second); err != nil {
+			t.Fatalf("shard %s rerun: %v", spec, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("shard %s report not deterministic across runs", spec)
+		}
+		sum += runsOf(t, first.Bytes())
+	}
+	if sum != total {
+		t.Fatalf("shard runs sum to %d, unsharded ran %d", sum, total)
+	}
+	if err := run([]string{"-campaign", "-shard", "9/4"}, &buf); err == nil {
+		t.Error("-shard 9/4 must error")
+	}
+}
+
+// TestCampaignReportMetricsFold pins the cross-process merge story end to
+// end at the CLI layer: each sharded campaign report embeds its raw
+// accumulator under "metrics" (the field ksetd's POST /v1/merge folds
+// by), and merging the K shard accumulators reproduces the unsharded
+// report's metrics byte for byte.
+func TestCampaignReportMetricsFold(t *testing.T) {
+	metricsOf := func(t *testing.T, raw []byte) json.RawMessage {
+		t.Helper()
+		var r struct {
+			Metrics json.RawMessage `json:"metrics"`
+		}
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatalf("decode report: %v", err)
+		}
+		if len(r.Metrics) == 0 {
+			t.Fatalf("report carries no metrics field:\n%s", raw)
+		}
+		// The report writer indents, so compact before byte comparisons.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, r.Metrics); err != nil {
+			t.Fatal(err)
+		}
+		return compact.Bytes()
+	}
+
+	args := []string{"-campaign", "-json", "-runs", "120", "-workers", "2"}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("unsharded: %v", err)
+	}
+	want := metricsOf(t, buf.Bytes())
+
+	merged := &kset.Accumulator{}
+	for i := 0; i < 3; i++ {
+		buf.Reset()
+		if err := run(append(args, "-shard", fmt.Sprintf("%d/3", i)), &buf); err != nil {
+			t.Fatalf("shard %d/3: %v", i, err)
+		}
+		acc := &kset.Accumulator{}
+		if err := json.Unmarshal(metricsOf(t, buf.Bytes()), acc); err != nil {
+			t.Fatalf("shard %d metrics decode: %v", i, err)
+		}
+		merged.Merge(acc)
+	}
+	got, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte(want)) {
+		t.Fatalf("merged shard metrics differ from unsharded metrics\n%s\nvs\n%s", got, want)
 	}
 }

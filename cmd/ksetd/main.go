@@ -12,7 +12,14 @@
 //	GET    /v1/campaigns/{id}/events SSE: snapshots, then stats/sweep/error
 //	GET    /v1/experiments           list the registered experiments
 //	POST   /v1/experiments/{id}      run one, with optional param overrides
+//	POST   /v1/merge                 fold shard result uploads into one report
 //	GET    /healthz                  liveness probe
+//
+// /v1/merge is the fold point of sharded campaigns: K processes each run
+// one shard (for example `experiments -campaign -shard i/K`), upload
+// their accumulators, checkpoints or stats reports, and receive the
+// byte-identical stats a single process over the whole stream would have
+// produced.
 //
 // Submissions are queued per tenant (X-Tenant header) and scheduled
 // round-robin across tenants, so one tenant's backlog cannot starve

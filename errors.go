@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"kset/internal/kerr"
+	"kset/internal/shard"
 )
 
 // Sentinel errors shared by every constructor and run entry point of the
@@ -50,4 +51,23 @@ var (
 	// and by Submit on a campaign created by RunCampaign, whose fixed
 	// workload admits no further scenarios.
 	ErrCampaignClosed = errors.New("kset: campaign closed")
+
+	// ErrUnsizedSource marks a scenario source whose Size is unknown where
+	// sharding needs one: index ranges only partition streams of known
+	// length.
+	//
+	// Returned by: NewShardPlan and ShardSource on an unsized source, and
+	// System.RunCheckpointed when started fresh (resume == nil) over one —
+	// resuming needs no size, the checkpoint's cursor carries it.
+	ErrUnsizedSource = errors.New("kset: source size unknown")
+
+	// ErrBadCheckpoint marks a checkpoint or cursor that failed decoding
+	// or validation: malformed JSON, unknown fields, trailing bytes, a
+	// version this build does not read, or a cursor/progress pair that
+	// contradicts itself.
+	//
+	// Returned by: DecodeCheckpoint on any such input, EncodeCheckpoint on
+	// an envelope that fails validation, and System.RunCheckpointed when
+	// handed an invalid resume checkpoint.
+	ErrBadCheckpoint = shard.ErrBadCheckpoint
 )

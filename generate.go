@@ -39,6 +39,11 @@ type funcSource struct {
 	size  int64
 	sized bool
 	each  func(yield func(Scenario) bool)
+	// ranged, when non-nil, yields only the scenarios with stream indices
+	// in [lo, hi) — the seam shard and checkpoint ranges ride. Callers
+	// guarantee 0 ≤ lo < hi; implementations seek instead of replaying
+	// the prefix wherever the underlying stream allows it.
+	ranged func(lo, hi int64, yield func(Scenario) bool)
 }
 
 func (s funcSource) ForEach(yield func(Scenario) bool) { s.each(yield) }
@@ -46,41 +51,76 @@ func (s funcSource) Size() (int64, bool)               { return s.size, s.sized 
 
 // ScenariosOf wraps an explicit scenario list as a source.
 func ScenariosOf(scs ...Scenario) ScenarioSource {
-	return funcSource{size: int64(len(scs)), sized: true, each: func(yield func(Scenario) bool) {
-		for i := range scs {
-			if !yield(scs[i]) {
-				return
+	return funcSource{
+		size: int64(len(scs)), sized: true,
+		each: func(yield func(Scenario) bool) {
+			for i := range scs {
+				if !yield(scs[i]) {
+					return
+				}
 			}
-		}
-	}}
+		},
+		ranged: func(lo, hi int64, yield func(Scenario) bool) {
+			for i := lo; i < min(hi, int64(len(scs))); i++ {
+				if !yield(scs[i]) {
+					return
+				}
+			}
+		},
+	}
 }
 
 // Inputs wraps a list of input vectors as a source of failure-free
 // scenarios; attach adversaries with CrossFailures or FailureSchedules.
 func Inputs(inputs ...Vector) ScenarioSource {
-	return funcSource{size: int64(len(inputs)), sized: true, each: func(yield func(Scenario) bool) {
-		for _, in := range inputs {
-			if !yield(Scenario{Input: in}) {
-				return
+	return funcSource{
+		size: int64(len(inputs)), sized: true,
+		each: func(yield func(Scenario) bool) {
+			for _, in := range inputs {
+				if !yield(Scenario{Input: in}) {
+					return
+				}
 			}
-		}
-	}}
+		},
+		ranged: func(lo, hi int64, yield func(Scenario) bool) {
+			for i := lo; i < min(hi, int64(len(inputs))); i++ {
+				if !yield(Scenario{Input: inputs[i]}) {
+					return
+				}
+			}
+		},
+	}
 }
 
 // ExhaustiveInputs streams every full input vector of {1..m}^n in
 // lexicographic order — all m^n of them — as failure-free scenarios. This
 // is the proof-by-enumeration source: crossed with an adversary family it
-// sweeps an entire scenario space without materializing it.
+// sweeps an entire scenario space without materializing it. Range shards
+// of the stream seek the enumerator's cursor directly (vector.Enum.SeekTo),
+// so shard i of a 10⁹-vector sweep starts in O(n), not O(i·10⁹/K).
 func ExhaustiveInputs(n, m int) ScenarioSource {
 	size, sized := powInt64(m, n)
-	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
-		e := vector.NewEnum(n, m)
-		for v, ok := e.Next(); ok; v, ok = e.Next() {
-			if !yield(Scenario{Input: v.Clone()}) {
-				return
+	return funcSource{
+		size: size, sized: sized,
+		each: func(yield func(Scenario) bool) {
+			e := vector.NewEnum(n, m)
+			for v, ok := e.Next(); ok; v, ok = e.Next() {
+				if !yield(Scenario{Input: v.Clone()}) {
+					return
+				}
 			}
-		}
-	}}
+		},
+		ranged: func(lo, hi int64, yield func(Scenario) bool) {
+			e := vector.NewEnum(n, m)
+			e.SeekTo(lo)
+			for i := lo; i < hi; i++ {
+				v, ok := e.Next()
+				if !ok || !yield(Scenario{Input: v.Clone()}) {
+					return
+				}
+			}
+		},
+	}
 }
 
 // ConditionMembers streams the condition's member vectors as failure-free
@@ -151,18 +191,82 @@ func RandomInputs(seed int64, n, m, count int) ScenarioSource {
 	if count < 0 || n < 0 || m < 1 {
 		count = 0
 	}
-	return funcSource{size: int64(count), sized: true, each: func(yield func(Scenario) bool) {
-		rng := rand.New(rand.NewSource(seed))
-		for i := 0; i < count; i++ {
-			in := make(Vector, n)
-			for j := range in {
-				in[j] = Value(1 + rng.Intn(m))
+	return funcSource{
+		size: int64(count), sized: true,
+		each: func(yield func(Scenario) bool) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < count; i++ {
+				in := make(Vector, n)
+				for j := range in {
+					in[j] = Value(1 + rng.Intn(m))
+				}
+				if !yield(Scenario{Input: in}) {
+					return
+				}
 			}
-			if !yield(Scenario{Input: in}) {
+		},
+		ranged: func(lo, hi int64, yield func(Scenario) bool) {
+			if hi > int64(count) {
+				hi = int64(count)
+			}
+			if lo >= hi {
 				return
 			}
-		}
+			// Fast-forward the seed stream past the first lo vectors (n
+			// draws each) without building them, so a shard yields exactly
+			// the bytes the unsharded stream would at the same indices.
+			rng := rand.New(rand.NewSource(seed))
+			for s := int64(0); s < lo*int64(n); s++ {
+				rng.Intn(m)
+			}
+			for i := lo; i < hi; i++ {
+				in := make(Vector, n)
+				for j := range in {
+					in[j] = Value(1 + rng.Intn(m))
+				}
+				if !yield(Scenario{Input: in}) {
+					return
+				}
+			}
+		},
+	}
+}
+
+// crossSource is the shared core of the cross-product combinators: each
+// source scenario is yielded k times, variant j produced by set. The
+// product stream's range support splits on the outer axis — product index
+// i maps to source index i/k and variant i mod k — so shards of a crossed
+// sweep seek the underlying source instead of replaying it.
+func crossSource(src ScenarioSource, k int, set func(sc Scenario, j int) Scenario) ScenarioSource {
+	size, sized := scaled(src, k)
+	fs := funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+		src.ForEach(func(sc Scenario) bool {
+			for j := 0; j < k; j++ {
+				if !yield(set(sc, j)) {
+					return false
+				}
+			}
+			return true
+		})
 	}}
+	if k > 0 {
+		fs.ranged = func(lo, hi int64, yield func(Scenario) bool) {
+			i := (lo / int64(k)) * int64(k) // product index of the outer range's start
+			forEachRange(src, lo/int64(k), (hi+int64(k)-1)/int64(k), func(sc Scenario) bool {
+				for j := 0; j < k; j++ {
+					if i >= hi {
+						return false
+					}
+					if i >= lo && !yield(set(sc, j)) {
+						return false
+					}
+					i++
+				}
+				return true
+			})
+		}
+	}
+	return fs
 }
 
 // CrossFailures takes the cross product of a source with an explicit
@@ -170,60 +274,33 @@ func RandomInputs(seed int64, n, m, count int) ScenarioSource {
 // that pattern installed. The scenarios of one input share its Input
 // buffer.
 func CrossFailures(src ScenarioSource, fps ...FailurePattern) ScenarioSource {
-	size, sized := scaled(src, len(fps))
-	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
-		src.ForEach(func(sc Scenario) bool {
-			for i := range fps {
-				sc.FP = fps[i]
-				if !yield(sc) {
-					return false
-				}
-			}
-			return true
-		})
-	}}
+	return crossSource(src, len(fps), func(sc Scenario, j int) Scenario {
+		sc.FP = fps[j]
+		return sc
+	})
 }
 
 // FailureSchedules takes the cross product of a source with a failure
 // family: each scenario is yielded once per family pattern. Families are
 // index-deterministic (see the FailureFamily builders), so the product
-// stream is too. The family's patterns are generated once per iteration,
-// not once per input scenario.
+// stream is too. The family's patterns are generated once, when the
+// product source is built, not once per input scenario.
 func FailureSchedules(src ScenarioSource, fam FailureFamily) ScenarioSource {
-	size, sized := scaled(src, fam.Size())
-	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
-		fps := make([]FailurePattern, fam.Size())
-		for i := range fps {
-			fps[i] = fam.Pattern(i)
-		}
-		src.ForEach(func(sc Scenario) bool {
-			for i := range fps {
-				sc.FP = fps[i]
-				if !yield(sc) {
-					return false
-				}
-			}
-			return true
-		})
-	}}
+	fps := make([]FailurePattern, fam.Size())
+	for i := range fps {
+		fps[i] = fam.Pattern(i)
+	}
+	return CrossFailures(src, fps...)
 }
 
 // CrossExecutors takes the cross product of a source with an executor
 // list: each scenario is yielded once per executor, with that executor
 // installed as the scenario override.
 func CrossExecutors(src ScenarioSource, execs ...Executor) ScenarioSource {
-	size, sized := scaled(src, len(execs))
-	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
-		src.ForEach(func(sc Scenario) bool {
-			for _, ex := range execs {
-				sc.Executor = ex
-				if !yield(sc) {
-					return false
-				}
-			}
-			return true
-		})
-	}}
+	return crossSource(src, len(execs), func(sc Scenario, j int) Scenario {
+		sc.Executor = execs[j]
+		return sc
+	})
 }
 
 // Concat chains sources: all scenarios of the first, then the second, …
@@ -237,7 +314,7 @@ func Concat(srcs ...ScenarioSource) ScenarioSource {
 		}
 		size += n
 	}
-	return funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
+	fs := funcSource{size: size, sized: sized, each: func(yield func(Scenario) bool) {
 		for _, s := range srcs {
 			stopped := false
 			s.ForEach(func(sc Scenario) bool {
@@ -252,6 +329,33 @@ func Concat(srcs ...ScenarioSource) ScenarioSource {
 			}
 		}
 	}}
+	if sized {
+		fs.ranged = func(lo, hi int64, yield func(Scenario) bool) {
+			off := int64(0)
+			for _, s := range srcs {
+				n, _ := s.Size()
+				sLo, sHi := max(lo-off, 0), min(hi-off, n)
+				if sLo < sHi {
+					stopped := false
+					forEachRange(s, sLo, sHi, func(sc Scenario) bool {
+						if !yield(sc) {
+							stopped = true
+							return false
+						}
+						return true
+					})
+					if stopped {
+						return
+					}
+				}
+				off += n
+				if off >= hi {
+					return
+				}
+			}
+		}
+	}
+	return fs
 }
 
 // scaled returns the source's size times k, unknown when the source's

@@ -30,6 +30,13 @@ type Report struct {
 	Err string `json:"err,omitempty"`
 	// Sections are the report's named blocks, in presentation order.
 	Sections []*Section `json:"sections,omitempty"`
+	// Metrics optionally carries the run's raw stats-accumulator
+	// encoding. Reports that set it (the CLI's campaign mode) are
+	// directly foldable by ksetd's POST /v1/merge, whose shard decoder
+	// unwraps a top-level "metrics" field — so K sharded campaign
+	// reports merge back into the single-process result without any
+	// extraction step. Registry experiments leave it unset.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // Section is one named block of a report: an optional table, optional

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,8 @@ import (
 
 	"kset"
 	"kset/internal/experiments"
+	"kset/internal/shard"
+	"kset/internal/stats"
 )
 
 // Config tunes a Server; the zero value gets sensible defaults.
@@ -92,6 +95,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/campaigns/", s.handleCampaign)
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
+	mux.HandleFunc("/v1/merge", s.handleMerge)
 	return mux
 }
 
@@ -303,6 +307,83 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 		flusher.Flush()
 		return nil
 	})
+}
+
+// handleMerge serves POST /v1/merge: fold shard result uploads into one
+// campaign stats report. The body is {"shards": [blob, ...]} where each
+// blob is an accumulator encoding, a checkpoint envelope, or a campaign
+// stats report (its "metrics" field is taken) — the three shapes sharded
+// workers naturally hold. Because Accumulator.Merge is commutative and
+// associative, the folded report is byte-identical to the one a single
+// process running every shard's scenarios would have produced, whatever
+// the shard count or upload order.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", r.Method+" not allowed")
+		return
+	}
+	var body struct {
+		Shards []json.RawMessage `json:"shards"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		return
+	}
+	if len(body.Shards) == 0 {
+		writeError(w, http.StatusBadRequest, "no_shards", "merge needs at least one shard")
+		return
+	}
+	merged := stats.NewAccumulator()
+	for i, raw := range body.Shards {
+		acc, err := decodeShard(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_shard", fmt.Sprintf("shard %d: %v", i, err))
+			return
+		}
+		merged.Merge(acc)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Shards int                 `json:"shards"`
+		Stats  *kset.CampaignStats `json:"stats"`
+	}{Shards: len(body.Shards), Stats: kset.CampaignStatsOf(merged)})
+}
+
+// decodeShard turns one uploaded shard blob into its accumulator. Three
+// shapes are accepted, tried most-specific first: a checkpoint envelope
+// (strictly decoded and validated; its stats snapshot is taken), a raw
+// accumulator encoding (strict — unknown fields are rejected), and a
+// campaign stats report, whose "metrics" field holds the accumulator.
+func decodeShard(raw json.RawMessage) (*stats.Accumulator, error) {
+	if cp, err := shard.Decode(raw); err == nil {
+		if cp.Stats == nil {
+			return stats.NewAccumulator(), nil
+		}
+		return cp.Stats, nil
+	}
+	if acc, err := strictAccumulator(raw); err == nil {
+		return acc, nil
+	}
+	var wrap struct {
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &wrap); err == nil && len(wrap.Metrics) > 0 {
+		return strictAccumulator(wrap.Metrics)
+	}
+	return nil, errors.New("not an accumulator, checkpoint, or stats report")
+}
+
+// strictAccumulator decodes an accumulator encoding, rejecting unknown
+// fields so a mis-shaped upload fails loudly instead of merging zeros.
+func strictAccumulator(raw []byte) (*stats.Accumulator, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	acc := stats.NewAccumulator()
+	if err := dec.Decode(acc); err != nil {
+		return nil, err
+	}
+	return acc, nil
 }
 
 // handleExperiments serves GET /v1/experiments: the registry's specs.

@@ -1,0 +1,20 @@
+// Package shard is the wire layer of sharded, resumable campaigns: the
+// deterministic arithmetic that partitions a scenario stream into K
+// disjoint, collectively exhaustive contiguous ranges (Plan), the
+// serializable address of one such range (Cursor), and the versioned
+// checkpoint envelope (Checkpoint) pairing a cursor with the results
+// accumulated so far and the number of runs they cover.
+//
+// The package deliberately knows nothing about scenario generation or
+// execution — it only speaks indices and accumulator snapshots. The root
+// package maps cursors onto live ScenarioSource streams (kset.Range and
+// friends), runs them, and folds the per-shard accumulators back together
+// with stats.Accumulator.Merge, whose commutativity is what makes any
+// sharding of a campaign byte-identical to the single-process run.
+//
+// Checkpoint encoding is strict by construction: Decode rejects malformed
+// JSON, unknown fields, trailing bytes, version skew and inconsistent
+// cursors with errors wrapping ErrBadCheckpoint, and never panics —
+// a checkpoint file is the one input a week-long sweep must survive
+// re-reading after a crash.
+package shard

@@ -502,3 +502,79 @@ func TestOrderedViews(t *testing.T) {
 		t.Errorf("last view %v != full vector", views[len(views)-1])
 	}
 }
+
+// TestEnumSeekSerializedResume pins the cross-process resume contract:
+// for every cut position of every domain — the m=1 and n=0 edge cases
+// included — NewEnum + SeekTo(pos) yields exactly the suffix a live
+// enumerator that had yielded pos vectors would, and Pos round-trips
+// through the cut.
+func TestEnumSeekSerializedResume(t *testing.T) {
+	domains := []struct{ n, m int }{
+		{3, 2}, {2, 3}, {4, 1}, {1, 1}, {0, 3}, {0, 1}, {1, 5},
+	}
+	for _, d := range domains {
+		var full []string
+		ForEach(d.n, d.m, func(v Vector) bool {
+			full = append(full, v.Key())
+			return true
+		})
+		for pos := 0; pos <= len(full); pos++ {
+			// The "dying" process: yield pos vectors, then persist Pos.
+			live := NewEnum(d.n, d.m)
+			for i := 0; i < pos; i++ {
+				if _, ok := live.Next(); !ok {
+					t.Fatalf("(%d,%d) stream ended at %d < %d", d.n, d.m, i, pos)
+				}
+			}
+			if got := live.Pos(); got != int64(pos) {
+				t.Fatalf("(%d,%d) Pos() = %d after %d yields", d.n, d.m, got, pos)
+			}
+			// The "fresh" process: seek to the persisted cursor and drain.
+			resumed := NewEnum(d.n, d.m)
+			resumed.SeekTo(int64(pos))
+			if got := resumed.Pos(); got != int64(pos) {
+				t.Fatalf("(%d,%d) Pos() = %d after SeekTo(%d)", d.n, d.m, got, pos)
+			}
+			var suffix []string
+			for v, ok := resumed.Next(); ok; v, ok = resumed.Next() {
+				suffix = append(suffix, v.Key())
+			}
+			if want := full[pos:]; !reflect.DeepEqual(suffix, append([]string(nil), want...)) {
+				t.Fatalf("(%d,%d) SeekTo(%d) suffix = %v, want %v", d.n, d.m, pos, suffix, want)
+			}
+		}
+	}
+}
+
+// TestEnumSeekBeyondAndRewind covers the cursor's boundary semantics:
+// seeking past the end exhausts the enumeration with the cursor parked
+// at m^n, negative or zero seeks rewind, and empty domains stay empty.
+func TestEnumSeekBeyondAndRewind(t *testing.T) {
+	e := NewEnum(2, 3) // 9 vectors
+	e.SeekTo(9)
+	if v, ok := e.Next(); ok {
+		t.Fatalf("SeekTo(size) then Next yielded %v", v)
+	}
+	if e.Pos() != 9 {
+		t.Fatalf("Pos() = %d after seeking past the end, want 9", e.Pos())
+	}
+	e.SeekTo(1 << 40)
+	if _, ok := e.Next(); ok || e.Pos() != 9 {
+		t.Fatalf("far overshoot: Pos() = %d, want parked at 9", e.Pos())
+	}
+	// Rewind after exhaustion.
+	e.SeekTo(0)
+	if v, ok := e.Next(); !ok || !v.Equal(OfInts(1, 1)) {
+		t.Fatalf("SeekTo(0) then Next = %v, %v; want first vector", v, ok)
+	}
+	e.SeekTo(-5)
+	if v, ok := e.Next(); !ok || !v.Equal(OfInts(1, 1)) {
+		t.Fatalf("negative seek then Next = %v, %v; want first vector", v, ok)
+	}
+	// Degenerate domains remain empty wherever the cursor points.
+	empty := NewEnum(2, 0)
+	empty.SeekTo(3)
+	if _, ok := empty.Next(); ok {
+		t.Fatal("empty domain yielded after SeekTo")
+	}
+}

@@ -29,6 +29,10 @@ cd "$(dirname "$0")/.."
 # a System + scenario stream, register and enqueue the job — which must
 # stay flat for the daemon to absorb thousands of queued submissions on a
 # 1-CPU container (measured: 30 at PR 7).
+# CheckpointEncode prices one checkpoint emission — accumulator snapshot
+# plus versioned JSON envelope. Its cost must scale with breakdown keys,
+# never with the runs the checkpoint covers, so periodic checkpointing
+# cannot regress the 1-alloc/run campaign hot path (measured: 25 at PR 8).
 budgets='
 BenchmarkE1Lattice 2400
 BenchmarkE9Adversary 400
@@ -37,9 +41,10 @@ BenchmarkCollectorPath 700
 BenchmarkEngineTransport/matrix 0
 BenchmarkEngineTransport/faultnet 0
 BenchmarkSubmitPath 40
+BenchmarkCheckpointEncode 60
 '
 
-raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport|SubmitPath$' \
+raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport|SubmitPath$|CheckpointEncode$' \
 	-benchmem -benchtime "$benchtime" -count 1 . ./internal/rounds/ ./internal/service/)"
 printf '%s\n' "$raw"
 

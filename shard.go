@@ -1,0 +1,108 @@
+package kset
+
+import (
+	"fmt"
+
+	"kset/internal/shard"
+)
+
+// ShardPlan is the deterministic partition of a sized scenario stream
+// into K contiguous, disjoint, collectively exhaustive index ranges.
+// Every process that builds the same plan — same source parameters, same
+// K — agrees on every shard boundary without coordination, which is what
+// lets independent processes split one campaign and fold the results
+// back together. Build one with NewShardPlan.
+type ShardPlan = shard.Plan
+
+// Cursor addresses the half-open index range [Lo, Hi) of a deterministic
+// scenario stream: the serializable identity of one campaign shard.
+// Sources are deterministic and re-iterable, so a cursor plus the
+// source's construction parameters fully determine the shard's scenarios
+// across processes and machines. Turn one back into a stream with
+// CursorSource.
+type Cursor = shard.Cursor
+
+// NewShardPlan partitions src's stream into k balanced shards. The
+// source must be sized (ErrUnsizedSource otherwise); k < 1 is an error,
+// while k larger than the stream leaves the surplus shards empty.
+func NewShardPlan(src ScenarioSource, k int) (ShardPlan, error) {
+	total, ok := src.Size()
+	if !ok {
+		return ShardPlan{}, fmt.Errorf("%w: cannot plan shards", ErrUnsizedSource)
+	}
+	return shard.NewPlan(total, k)
+}
+
+// ShardSource returns shard i of src split k ways: the sub-stream
+// covering the plan's i-th index range. The union of the k shard streams
+// is exactly the unsharded stream — disjoint, collectively exhaustive,
+// in order within each shard.
+func ShardSource(src ScenarioSource, i, k int) (ScenarioSource, error) {
+	plan, err := NewShardPlan(src, k)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= k {
+		return nil, fmt.Errorf("kset: shard index %d outside [0, %d)", i, k)
+	}
+	lo, hi := plan.Bounds(i)
+	return Range(src, lo, hi), nil
+}
+
+// CursorSource returns the sub-stream of src a cursor addresses —
+// the resume half of a serialized shard or checkpoint.
+func CursorSource(src ScenarioSource, cur Cursor) ScenarioSource {
+	return Range(src, cur.Lo, cur.Hi)
+}
+
+// Range returns the sub-stream of src covering stream indices [lo, hi),
+// clamped to the stream. Sources with native range support (exhaustive
+// enumerations, seeded random streams, literal lists, cross products and
+// concatenations of such) seek straight to lo; other sources replay and
+// discard the prefix, preserving correctness at O(lo) iteration cost.
+func Range(src ScenarioSource, lo, hi int64) ScenarioSource {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo {
+		hi = lo
+	}
+	n, sized := src.Size()
+	if sized {
+		lo, hi = min(lo, n), min(hi, n)
+	}
+	return funcSource{
+		size: hi - lo, sized: sized,
+		each: func(yield func(Scenario) bool) {
+			forEachRange(src, lo, hi, yield)
+		},
+		ranged: func(rlo, rhi int64, yield func(Scenario) bool) {
+			forEachRange(src, lo+rlo, min(lo+rhi, hi), yield)
+		},
+	}
+}
+
+// forEachRange yields src's scenarios with stream indices in [lo, hi),
+// using the source's native range support when it has one and otherwise
+// replaying and discarding the prefix.
+func forEachRange(src ScenarioSource, lo, hi int64, yield func(Scenario) bool) {
+	if lo >= hi {
+		return
+	}
+	if fs, ok := src.(funcSource); ok && fs.ranged != nil {
+		fs.ranged(lo, hi, yield)
+		return
+	}
+	i := int64(0)
+	src.ForEach(func(sc Scenario) bool {
+		if i >= hi {
+			return false
+		}
+		ok := true
+		if i >= lo {
+			ok = yield(sc)
+		}
+		i++
+		return ok && i < hi
+	})
+}
