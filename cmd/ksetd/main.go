@@ -62,6 +62,7 @@ func run(argv []string) error {
 		queue    = fs.Int("queue", 1024, "max queued jobs per tenant")
 		snapshot = fs.Duration("snapshot", 250*time.Millisecond, "SSE progress snapshot interval")
 		drainTO  = fs.Duration("drain-timeout", 30*time.Second, "max time to finish accepted jobs on shutdown")
+		maxBody  = fs.Int64("max-body", 8<<20, "max request body bytes (oversized bodies get a structured 413)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -71,6 +72,7 @@ func run(argv []string) error {
 		MaxActive:          *active,
 		MaxQueuedPerTenant: *queue,
 		SnapshotInterval:   *snapshot,
+		MaxBodyBytes:       *maxBody,
 	})
 	defer svc.Close()
 
@@ -80,7 +82,19 @@ func run(argv []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	// A daemon on an open port must bound what a slow or hostile client
+	// can hold: slowloris headers (ReadHeaderTimeout), drip-fed bodies
+	// (ReadTimeout), and idle keep-alive connections (IdleTimeout).
+	// WriteTimeout stays unset because SSE streams legitimately run for
+	// the life of a job; the stream handler clears per-connection read
+	// deadlines itself.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "ksetd: listening on %s\n", *addr)

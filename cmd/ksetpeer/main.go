@@ -1,0 +1,204 @@
+// Command ksetpeer runs ONE process of a synchronous condition-based
+// k-set agreement instance as its own OS process, exchanging round
+// payloads with its peers over UDP datagrams. Start n of them — one per
+// process ID, each knowing the full peer address table — and every peer
+// that survives prints its decision as one JSON object on stdout.
+//
+// Unlike the in-process engine (which simulates crashes), a ksetpeer
+// fleet faces real failures: kill a peer mid-round and the survivors
+// suspect it at the round deadline, fold it into the crash accounting,
+// and still terminate — decided when the condition's guarantees hold,
+// explicitly undecided otherwise, never hung.
+//
+// A 3-process instance on loopback:
+//
+//	ksetpeer -id 1 -peers 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103 \
+//	         -input 3,1,2 -t 1 -k 1 -m 4 &
+//	ksetpeer -id 2 -peers ... -input 3,1,2 -t 1 -k 1 -m 4 &
+//	ksetpeer -id 3 -peers ... -input 3,1,2 -t 1 -k 1 -m 4
+//
+// Every peer is started with the same parameters and the same full input
+// vector (entry i is peer i's proposal) — ksetpeer is an experiment
+// driver for the paper's protocol, not a deployment artifact, and the
+// shared vector is what lets a harness check the peers' decisions
+// against the in-process engine bit for bit.
+//
+// Output is a single JSON object:
+//
+//	{"id":2,"decided":true,"value":3,"round":2,"suspected":[],
+//	 "frames_sent":28,"frames_received":25,"retransmits":0}
+//
+// Exit status is 0 when the run terminates (decided or not), 1 on
+// configuration or network errors. -v logs per-round progress markers to
+// stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"kset/internal/condition"
+	"kset/internal/core"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+	"kset/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetpeer:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the JSON object a peer prints on termination.
+type report struct {
+	ID        int     `json:"id"`
+	Decided   bool    `json:"decided"`
+	Value     int     `json:"value"`
+	Round     int     `json:"round"`
+	Suspected []int   `json:"suspected"`
+	Sent      int64   `json:"frames_sent"`
+	Received  int64   `json:"frames_received"`
+	Retrans   int64   `json:"retransmits"`
+	Elapsed   float64 `json:"elapsed_seconds"`
+}
+
+// run parses flags, runs this peer's protocol instance to termination
+// and prints the report.
+func run(argv []string, out *os.File) error {
+	fs := flag.NewFlagSet("ksetpeer", flag.ContinueOnError)
+	var (
+		id         = fs.Int("id", 0, "this peer's process ID, 1..n")
+		peersFlag  = fs.String("peers", "", "comma-separated host:port for processes 1..n; entry id is this peer's bind address")
+		inputFlag  = fs.String("input", "", "comma-separated full input vector (entry i proposed by process i)")
+		t          = fs.Int("t", 1, "crash resilience t")
+		k          = fs.Int("k", 1, "agreement degree k")
+		d          = fs.Int("d", 0, "condition degree d (x = t-d)")
+		l          = fs.Int("l", 0, "legality slack l (0 means k)")
+		m          = fs.Int("m", 0, "value domain size (0 means max input value)")
+		timeout    = fs.Duration("timeout", wire.DefaultRoundTimeout, "round deadline before absent peers are suspected crashed")
+		retransmit = fs.Duration("retransmit", wire.DefaultRetransmit, "initial retransmission interval")
+		linger     = fs.Duration("linger", 0, "courtesy window after finishing (0 means timeout)")
+		seed       = fs.Uint64("seed", 0, "retransmission jitter seed (0 derives one from id)")
+		verbose    = fs.Bool("v", false, "log round progress to stderr")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	peers := strings.Split(*peersFlag, ",")
+	if *peersFlag == "" || len(peers) < 2 {
+		return fmt.Errorf("-peers must list at least 2 addresses, got %q", *peersFlag)
+	}
+	n := len(peers)
+	if *id < 1 || *id > n {
+		return fmt.Errorf("-id %d outside 1..%d", *id, n)
+	}
+	input, err := parseInput(*inputFlag, n)
+	if err != nil {
+		return err
+	}
+	if *l == 0 {
+		*l = *k
+	}
+	if *m == 0 {
+		for _, v := range input {
+			if int(v) > *m {
+				*m = int(v)
+			}
+		}
+	}
+
+	p := core.Params{N: n, T: *t, K: *k, D: *d, L: *l}
+	cond, err := condition.NewMax(n, *m, p.X(), *l)
+	if err != nil {
+		return err
+	}
+	procs, err := core.NewRun(p, cond, input)
+	if err != nil {
+		return err
+	}
+
+	conn, err := wire.DialUDP(peers[*id-1], peers)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	// SIGINT/SIGTERM cancel the run; the node returns cleanly instead of
+	// leaving peers to time us out one round at a time.
+	cancel := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		<-sig
+		close(cancel)
+	}()
+
+	var onRound func(int)
+	if *verbose {
+		onRound = func(r int) { fmt.Fprintf(os.Stderr, "ksetpeer %d: round=%d sent\n", *id, r) }
+	}
+	start := time.Now()
+	res, err := wire.RunNode(procs[*id-1], wire.NodeConfig{
+		ID:           rounds.ProcessID(*id),
+		N:            n,
+		MaxRounds:    p.RMax(),
+		Conn:         conn,
+		RoundTimeout: *timeout,
+		Retransmit:   *retransmit,
+		Linger:       *linger,
+		Seed:         *seed,
+		Cancel:       cancel,
+		OnRound:      onRound,
+	})
+	if err != nil {
+		return err
+	}
+
+	rep := report{
+		ID:        *id,
+		Decided:   res.Decided,
+		Value:     int(res.Value),
+		Round:     res.Round,
+		Suspected: make([]int, 0, len(res.Suspected)),
+		Sent:      res.FramesSent,
+		Received:  res.FramesReceived,
+		Retrans:   res.Retransmits,
+		Elapsed:   time.Since(start).Seconds(),
+	}
+	for _, s := range res.Suspected {
+		rep.Suspected = append(rep.Suspected, int(s))
+	}
+	enc := json.NewEncoder(out)
+	return enc.Encode(rep)
+}
+
+// parseInput decodes the comma-separated proposal vector.
+func parseInput(s string, n int) (vector.Vector, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-input is required")
+	}
+	fields := strings.Split(s, ",")
+	if len(fields) != n {
+		return nil, fmt.Errorf("-input has %d entries, -peers has %d", len(fields), n)
+	}
+	in := vector.New(n)
+	for i, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 || v > int(vector.MaxSetValue) {
+			return nil, fmt.Errorf("-input entry %d: %q is not a value in 1..%d", i+1, f, vector.MaxSetValue)
+		}
+		in[i] = vector.Value(v)
+	}
+	return in, nil
+}

@@ -46,6 +46,18 @@ var (
 	// vector. Constructors never return it.
 	ErrBadInput = kerr.ErrBadInput
 
+	// ErrBadFrame marks a malformed wire datagram: wrong version byte,
+	// truncation, trailing garbage, out-of-range fields, or a payload
+	// that is not in canonical encoding. The wire decoders never panic on
+	// arbitrary bytes — they return errors wrapping this sentinel.
+	//
+	// Returned by: runs of a System configured with WithTransport whose
+	// transport surfaces a codec failure, and (wrapped) by the frame
+	// codec in internal/wire that cmd/ksetpeer is built on. On a healthy
+	// deployment it indicates a foreign or corrupted datagram arriving on
+	// a peer's port; such frames are dropped and counted, not decoded.
+	ErrBadFrame = kerr.ErrBadFrame
+
 	// ErrCampaignClosed is returned by Campaign.Submit, SubmitAll and
 	// SubmitSource after Close (or after Wait, which closes implicitly),
 	// and by Submit on a campaign created by RunCampaign, whose fixed

@@ -1,0 +1,23 @@
+package faultnet_test
+
+import (
+	"testing"
+
+	"kset/internal/faultnet"
+	"kset/internal/rounds"
+	"kset/internal/rounds/transporttest"
+)
+
+// TestZeroFaultConformance runs the fault injector under the zero-fault
+// plan through the shared transport conformance suite: with no faults
+// drawn it must behave exactly like the reliable matrix transport. The
+// fault paths themselves are covered by the package's property tests.
+func TestZeroFaultConformance(t *testing.T) {
+	transporttest.Run(t, func(tb testing.TB, n int) rounds.Transport {
+		tr, err := faultnet.New(&faultnet.Plan{}, n)
+		if err != nil {
+			tb.Fatalf("faultnet.New: %v", err)
+		}
+		return tr
+	})
+}

@@ -14,4 +14,11 @@ var (
 	// ErrBadInput marks a malformed input vector for a run: wrong length,
 	// ⊥ entries, or values outside the proposable range.
 	ErrBadInput = errors.New("invalid input vector")
+
+	// ErrBadFrame marks a malformed or non-canonical wire frame: wrong
+	// version byte, unknown frame type or payload kind, out-of-range
+	// round/process/value fields, truncated or trailing bytes. Every
+	// error of the wire decoder wraps it, and the decoder never panics,
+	// whatever the input bytes.
+	ErrBadFrame = errors.New("malformed wire frame")
 )

@@ -342,6 +342,12 @@ func (e *Engine) RunInto(res *Result, procs []Process, fp FailurePattern, opts O
 	fast := isMatrix && !opts.Concurrent && opts.Trace == nil && len(fp.Orders) == 0
 	if !fast {
 		tr.Reset(n)
+		// Blocking transports (the wire plane) honor the run's cancel
+		// channel inside Deliver; the engine still checks it at every
+		// round boundary.
+		if ca, ok := tr.(CancelAware); ok {
+			ca.SetCancel(opts.Cancel)
+		}
 	}
 
 	if opts.Trace != nil {

@@ -12,8 +12,26 @@ package rounds
 // The engine drives a transport in lock step, never concurrently:
 // Reset(n) once per run, then per round one BeginRound, the round's Send
 // calls (senders in ascending ID order), and one Deliver per live
-// destination. A transport may therefore reuse all of its internal
-// scratch across rounds and runs.
+// destination (in ascending ID order; crashed and halted destinations are
+// skipped, so a transport must not require that every round's sends are
+// drained). A transport may therefore reuse all of its internal scratch
+// across rounds and runs. The same contract binds every implementation —
+// MatrixTransport, faultnet's fault injector, and the wire plane's
+// codec-backed transports — and is pinned by the shared conformance suite
+// in internal/rounds/transporttest:
+//
+//   - Reset(n) clears all in-flight state and zeroes Delivered.
+//   - A copy handed to Send for destination d in round r is observable
+//     only through Deliver(r', d, …): reliable transports surface it at
+//     r' = r exactly once; faulty ones may drop, delay or duplicate it,
+//     but never mutate it, reorder it onto another destination, or leak
+//     it into a Deliver row of a different destination.
+//   - Deliver fills the whole row: entries of processes that sent this
+//     destination nothing this round are nil, never stale.
+//   - Deliver may block (a wire transport waiting on sockets), but must
+//     return within its configured deadline and honor a cancel channel
+//     installed via CancelAware — the engine's liveness rests on every
+//     blocking wait being bounded.
 type Transport interface {
 	// Reset prepares the transport for a fresh run over n processes,
 	// clearing in-flight state and counters.
@@ -51,6 +69,18 @@ type Freezer interface {
 	// Freeze returns a copy of the payload that remains valid
 	// indefinitely.
 	Freeze() any
+}
+
+// CancelAware is implemented by transports whose Deliver blocks on
+// external progress — the wire plane's socket transports above all. The
+// engine installs the run's Options.Cancel channel before the first round
+// so that every blocking wait inside the transport can select on it and
+// return early; the engine itself then observes the cancellation at the
+// next round boundary. A nil channel must be accepted (and never waited
+// on).
+type CancelAware interface {
+	// SetCancel installs the run's cancellation channel (nil for none).
+	SetCancel(cancel <-chan struct{})
 }
 
 // FaultCounter is implemented by transports that inject faults; the

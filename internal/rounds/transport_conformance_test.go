@@ -1,0 +1,17 @@
+package rounds_test
+
+import (
+	"testing"
+
+	"kset/internal/rounds"
+	"kset/internal/rounds/transporttest"
+)
+
+// TestMatrixTransportConformance pins the canonical reliable transport to
+// the shared Reset/BeginRound/Send/Deliver contract every implementation
+// must satisfy.
+func TestMatrixTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(testing.TB, int) rounds.Transport {
+		return &rounds.MatrixTransport{}
+	})
+}

@@ -25,6 +25,11 @@ type Config struct {
 	MaxQueuedPerTenant int
 	// SnapshotInterval paces the SSE progress snapshots (default 250ms).
 	SnapshotInterval time.Duration
+	// MaxBodyBytes caps every request body (default 8 MiB). A larger
+	// body is cut off mid-read and answered with a structured 413 —
+	// shard uploads are the only legitimately large payloads and they
+	// fit comfortably; anything bigger is a mistake or a memory attack.
+	MaxBodyBytes int64
 }
 
 // withDefaults fills the zero fields.
@@ -37,6 +42,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotInterval == 0 {
 		c.SnapshotInterval = 250 * time.Millisecond
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
 	}
 	return c
 }
@@ -96,7 +104,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/experiments", s.handleExperiments)
 	mux.HandleFunc("/v1/experiments/", s.handleExperiment)
 	mux.HandleFunc("/v1/merge", s.handleMerge)
-	return mux
+	// Every body is capped before any handler reads it. MaxBytesReader
+	// also closes the connection on overrun, so an oversized upload
+	// cannot be streamed to completion just to be rejected.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // writeJSON writes one JSON response.
@@ -106,6 +122,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// writeDecodeError classifies a request-body decode failure: a body
+// that hit the MaxBytesReader cap is a structured 413 (the client must
+// shrink or shard its upload), anything else the usual 400.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, "bad_json", err.Error())
 }
 
 // writeError writes the structured error body.
@@ -180,7 +209,7 @@ func (s *Server) addJob(c *CompiledJob) *Job {
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	spec, err := decodeSpec(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	if t := r.Header.Get("X-Tenant"); t != "" {
@@ -293,6 +322,13 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, j *Job) {
 		writeError(w, http.StatusNotImplemented, "no_stream", "response writer cannot stream")
 		return
 	}
+	// An event stream outlives any sane per-connection deadline: clear
+	// the server's read/write timeouts for this connection so a hardened
+	// http.Server (cmd/ksetd sets ReadTimeout) cannot sever a live
+	// stream that is still delivering progress.
+	rc := http.NewResponseController(w)
+	_ = rc.SetReadDeadline(time.Time{})
+	_ = rc.SetWriteDeadline(time.Time{})
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
@@ -328,7 +364,7 @@ func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad_json", err.Error())
+		writeDecodeError(w, err)
 		return
 	}
 	if len(body.Shards) == 0 {

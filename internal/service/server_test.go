@@ -165,6 +165,34 @@ func TestSubmitValidationVectors(t *testing.T) {
 	}
 }
 
+// TestBodyTooLarge: a request body over the configured cap is answered
+// with a structured 413 on every decoding endpoint, while a small valid
+// body on the same server still goes through — the cap bounds memory,
+// not functionality.
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	huge := `{"padding": "` + strings.Repeat("x", 64<<10) + `"}`
+	for _, path := range []string{"/v1/campaigns", "/v1/merge"} {
+		resp, data := post(t, ts.URL+path, huge)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status = %d, want 413 (body %s)", path, resp.StatusCode, data)
+		}
+		var body struct {
+			Error errorBody `json:"error"`
+		}
+		if err := json.Unmarshal(data, &body); err != nil {
+			t.Fatalf("%s: response is not the structured error shape: %v\n%s", path, err, data)
+		}
+		if body.Error.Code != "body_too_large" {
+			t.Errorf("%s: code = %q, want body_too_large", path, body.Error.Code)
+		}
+	}
+	resp, data := post(t, ts.URL+"/v1/campaigns?wait=1", validSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid spec under the cap: status = %d, want 200 (body %s)", resp.StatusCode, data)
+	}
+}
+
 // sseEvent is one parsed server-sent event.
 type sseEvent struct {
 	id    int

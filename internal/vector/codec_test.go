@@ -1,0 +1,64 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeKey64RoundTrip pins Key64 → DecodeKey64 → Key64 as the
+// identity over randomized packable vectors, including ⊥ entries and the
+// empty vector.
+func TestDecodeKey64RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(11) // 0..10, the packable lengths
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = Value(rng.Intn(64)) // 0..63, the packable values
+		}
+		key, ok := v.Key64()
+		if !ok {
+			t.Fatalf("Key64(%v) not packable", v)
+		}
+		got, ok := DecodeKey64(key, nil)
+		if !ok {
+			t.Fatalf("DecodeKey64(%#x) rejected a valid key", key)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("DecodeKey64(Key64(%v)) = %v", v, got)
+		}
+		key2, ok := got.Key64()
+		if !ok || key2 != key {
+			t.Fatalf("re-encode of %v: key %#x, want %#x", got, key2, key)
+		}
+	}
+}
+
+// TestDecodeKey64Appends checks the append-to-dst contract.
+func TestDecodeKey64Appends(t *testing.T) {
+	v := Of(1, 0, 63)
+	key, _ := v.Key64()
+	dst := Of(9, 9)
+	out, ok := DecodeKey64(key, dst)
+	if !ok {
+		t.Fatalf("DecodeKey64 rejected %#x", key)
+	}
+	if want := Of(9, 9, 1, 0, 63); !out.Equal(want) {
+		t.Fatalf("DecodeKey64 appended %v, want %v", out, want)
+	}
+}
+
+// TestDecodeKey64Rejects checks malformed keys: zero (no sentinel) and bit
+// lengths that are not 1 (mod 6).
+func TestDecodeKey64Rejects(t *testing.T) {
+	for _, key := range []uint64{0, 2, 3, 1 << 1, 1 << 5, 1<<6 | 1<<63} {
+		if _, ok := DecodeKey64(key, nil); ok {
+			t.Errorf("DecodeKey64(%#x) accepted a malformed key", key)
+		}
+	}
+	// The empty vector's key (just the sentinel) is valid and decodes to
+	// an empty vector.
+	if out, ok := DecodeKey64(1, nil); !ok || len(out) != 0 {
+		t.Errorf("DecodeKey64(1) = %v, %v; want empty, true", out, ok)
+	}
+}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"testing"
+
+	"kset/internal/core"
+	"kset/internal/vector"
+)
+
+// BenchmarkWireEncode is the hot path of every transmission: one state
+// triple packed into a fixed buffer. Budget: 0 allocs/op (enforced by
+// scripts/benchgate.sh).
+func BenchmarkWireEncode(b *testing.B) {
+	var buf [MaxFrame]byte
+	msg := &core.StateMsg{Cond: 3, Out: 0, Tmf: 12}
+	f := Frame{Type: TypeData, Round: 2, Src: 1, Dst: 4, Payload: msg}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeFrame(buf[:], &f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecode round-trips the same frame back out; the one
+// alloc/op is the re-materialized *StateMsg the protocol consumes.
+func BenchmarkWireDecode(b *testing.B) {
+	var buf [MaxFrame]byte
+	f := Frame{Type: TypeData, Round: 2, Src: 1, Dst: 4, Payload: &core.StateMsg{Cond: 3, Out: 0, Tmf: 12}}
+	n, err := EncodeFrame(buf[:], &f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFrame(buf[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeValue covers the round-1 proposal shape.
+func BenchmarkWireEncodeValue(b *testing.B) {
+	var buf [MaxFrame]byte
+	f := Frame{Type: TypeData, Round: 1, Src: 1, Dst: 4, Payload: vector.Value(7)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeFrame(buf[:], &f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

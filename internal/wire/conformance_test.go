@@ -1,0 +1,69 @@
+package wire_test
+
+import (
+	"testing"
+
+	"kset/internal/rounds"
+	"kset/internal/rounds/transporttest"
+	"kset/internal/wire"
+)
+
+// TestPipeTransportConformance pins the deterministic codec harness to
+// the shared Transport contract.
+func TestPipeTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(tb testing.TB, n int) rounds.Transport {
+		p := &wire.PipeTransport{}
+		tb.Cleanup(func() {
+			if err := p.Err(); err != nil {
+				tb.Fatalf("pipe transport error: %v", err)
+			}
+		})
+		return p
+	})
+}
+
+// TestLoopbackUDPConformance runs the contract over real UDP sockets on
+// 127.0.0.1 — every copy crosses the kernel.
+func TestLoopbackUDPConformance(t *testing.T) {
+	transporttest.Run(t, func(tb testing.TB, n int) rounds.Transport {
+		lb, err := wire.NewLoopback(wire.LoopbackConfig{}, n)
+		if err != nil {
+			tb.Fatalf("NewLoopback: %v", err)
+		}
+		tb.Cleanup(func() {
+			if err := lb.Err(); err != nil {
+				tb.Fatalf("loopback transport error: %v", err)
+			}
+			lb.Close()
+		})
+		return lb
+	})
+}
+
+// TestLoopbackPipeNetConformance runs the same contract over the
+// in-memory mesh, so the loopback state machine is covered even where
+// the sandbox forbids sockets.
+func TestLoopbackPipeNetConformance(t *testing.T) {
+	transporttest.Run(t, func(tb testing.TB, n int) rounds.Transport {
+		lb, err := wire.NewLoopback(wire.LoopbackConfig{
+			Dial: func(n int) ([]wire.PacketConn, error) {
+				pn := wire.NewPipeNet(n)
+				conns := make([]wire.PacketConn, n)
+				for i := range conns {
+					conns[i] = pn.Conn(rounds.ProcessID(i + 1))
+				}
+				return conns, nil
+			},
+		}, n)
+		if err != nil {
+			tb.Fatalf("NewLoopback: %v", err)
+		}
+		tb.Cleanup(func() {
+			if err := lb.Err(); err != nil {
+				tb.Fatalf("loopback transport error: %v", err)
+			}
+			lb.Close()
+		})
+		return lb
+	})
+}

@@ -1,0 +1,41 @@
+// Package wire moves round payloads between OS processes over real
+// sockets — the transport plane that takes the §6.2 synchronous protocol
+// out of the in-memory delivery matrix and runs it across process
+// boundaries, with the robustness layer an unreliable network demands:
+// datagram framing, retransmission with exponential backoff and jitter,
+// per-round deadlines, and crash suspicion for peers that go silent.
+//
+// The package has three layers:
+//
+//   - The frame codec (frame.go, payload.go): fixed-buffer datagram
+//     framing with a version byte, a round/src/dst header and a
+//     packed-Key64 payload encoding for the protocols' state triples.
+//     Encoding into a caller-owned buffer allocates nothing; the decoder
+//     is strict — every malformed or non-canonical input yields an error
+//     wrapping kerr.ErrBadFrame, never a panic, and every accepted frame
+//     re-encodes byte-identically (pinned by FuzzFrameDecode).
+//
+//   - Engine-driven transports: PipeTransport routes every copy through
+//     the codec deterministically in-process (the test harness proving
+//     the codec preserves round semantics), and Loopback implements
+//     rounds.Transport over one UDP socket per simulated process, with
+//     retransmit-until-arrival inside Deliver and a per-round deadline
+//     after which a silent peer's copies are written off as lost. Both
+//     plug into the engine through kset.WithTransport; a lossless run is
+//     byte-identical to the MatrixTransport run of the same scenario.
+//
+//   - The peer plane: Node drives one process's protocol instance over a
+//     PacketConn (UDP between OS processes via cmd/ksetpeer, or the
+//     deterministic in-memory pipe net in tests), with per-destination
+//     retransmit-until-ack, fin frames announcing decision or completion,
+//     and a per-round deadline mapping unresponsive peers into the
+//     protocol's crash accounting. A Node run always terminates —
+//     decided or undecided — within MaxRounds round deadlines.
+//
+// Suspicion is sound only under the synchronous assumption the paper's
+// model already makes: the round deadline is the synchrony parameter, and
+// a peer that misses it is treated as crashed (crash-stop — it is never
+// readmitted, though its stray frames are still acknowledged so the
+// network quiesces). Choose deadlines comfortably above the link's round
+// trip; the defaults suit loopback and LAN.
+package wire

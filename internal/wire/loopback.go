@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"errors"
+	"os"
+	"time"
+
+	"kset/internal/rounds"
+)
+
+// LoopbackConfig parameterizes the Loopback transport. The zero value
+// uses UDP sockets on 127.0.0.1 with the default pacing.
+type LoopbackConfig struct {
+	// RoundTimeout bounds each destination's Deliver wait: a copy still
+	// missing when it expires is written off as lost (the destination's
+	// row keeps nil, the loss is counted). Default DefaultRoundTimeout.
+	RoundTimeout time.Duration
+	// Retransmit is the initial retransmission interval for missing
+	// copies; it doubles with jitter up to RoundTimeout/4. Default
+	// DefaultRetransmit.
+	Retransmit time.Duration
+	// Seed seeds the retransmission jitter (0 picks a fixed default).
+	Seed uint64
+	// Dial builds the n-endpoint mesh; nil binds n UDP sockets on
+	// 127.0.0.1. Tests inject a PipeNet here to exercise loss and
+	// retransmission deterministically.
+	Dial func(n int) ([]PacketConn, error)
+}
+
+// loopSlot tracks one in-flight copy of the current round.
+type loopSlot struct {
+	frame   mailSlot // encoded datagram, len 0 when no copy was sent
+	payload any      // decoded arrival
+	got     bool
+}
+
+// Loopback is a rounds.Transport that moves every copy through real
+// datagrams: n mesh endpoints (UDP loopback sockets by default) live in
+// one process, Send encodes and transmits each copy from its sender's
+// endpoint, and Deliver blocks reading the destination's endpoint until
+// the round's copies arrive — retransmitting missing ones with jittered
+// exponential backoff — or the per-destination deadline expires, after
+// which the stragglers are counted lost and the row keeps nil, exactly
+// the shape a faultnet loss produces. Lossless runs are byte-identical
+// to MatrixTransport runs; lossy ones fold into the same stats plane as
+// faultnet campaigns via rounds.FaultCounter.
+type Loopback struct {
+	cfg       LoopbackConfig
+	n         int
+	conns     []PacketConn
+	slots     []loopSlot // slots[(dst-1)*n+(src-1)]
+	delivered int64
+	lost      int64
+	round     int
+	cancel    <-chan struct{}
+	rng       prng
+	firstErr  error
+	readBuf   [64]byte
+}
+
+// NewLoopback builds the transport and dials its n-endpoint mesh.
+func NewLoopback(cfg LoopbackConfig, n int) (*Loopback, error) {
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = DefaultRoundTimeout
+	}
+	if cfg.Retransmit <= 0 {
+		cfg.Retransmit = DefaultRetransmit
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x6B736574 // "kset"
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = dialUDPLoopback
+	}
+	t := &Loopback{cfg: cfg}
+	if err := t.dial(n); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Loopback) dial(n int) error {
+	conns, err := t.cfg.Dial(n)
+	if err != nil {
+		return err
+	}
+	if len(conns) != n {
+		for _, c := range conns {
+			c.Close()
+		}
+		return errors.New("wire: loopback dial returned wrong endpoint count")
+	}
+	t.closeConns()
+	t.conns = conns
+	t.n = n
+	return nil
+}
+
+func (t *Loopback) closeConns() {
+	for _, c := range t.conns {
+		c.Close()
+	}
+	t.conns = nil
+}
+
+// Close releases the mesh endpoints.
+func (t *Loopback) Close() error {
+	t.closeConns()
+	return nil
+}
+
+// Err returns the first internal error hit since Reset: a codec failure
+// on an engine payload or a redial failure. Affected copies are dropped
+// (indistinguishable from loss), so runs still terminate; tests assert
+// Err is nil.
+func (t *Loopback) Err() error { return t.firstErr }
+
+func (t *Loopback) fail(err error) {
+	if t.firstErr == nil && err != nil {
+		t.firstErr = err
+	}
+}
+
+// SetCancel implements rounds.CancelAware.
+func (t *Loopback) SetCancel(cancel <-chan struct{}) { t.cancel = cancel }
+
+// Reset implements rounds.Transport, redialing only when n changes.
+func (t *Loopback) Reset(n int) {
+	t.firstErr = nil
+	if n != t.n || t.conns == nil {
+		if err := t.dial(n); err != nil {
+			t.fail(err)
+			t.conns = nil
+			t.n = n
+		}
+	}
+	if cap(t.slots) < n*n {
+		t.slots = make([]loopSlot, n*n)
+	}
+	t.slots = t.slots[:n*n]
+	t.clearSlots()
+	t.delivered = 0
+	t.lost = 0
+	t.round = 0
+	t.rng = prng{s: t.cfg.Seed}
+}
+
+func (t *Loopback) clearSlots() {
+	for i := range t.slots {
+		t.slots[i] = loopSlot{}
+	}
+}
+
+// BeginRound implements rounds.Transport.
+func (t *Loopback) BeginRound(r int) {
+	t.clearSlots()
+	t.round = r
+}
+
+// Send implements rounds.Transport: each copy is encoded once and
+// transmitted from the sender's endpoint; the encoded frame is kept for
+// retransmission. Copies to the sender itself short-circuit through the
+// codec without touching the network. Delivered counts at hand-over, as
+// MatrixTransport does, and is decremented for copies later written off.
+func (t *Loopback) Send(r int, src rounds.ProcessID, payload any, order []rounds.ProcessID, limit int) {
+	f := Frame{Type: TypeData, Round: r, Src: src, Payload: payload}
+	for k := 0; k < limit; k++ {
+		f.Dst = order[k]
+		slot := &t.slots[(int(f.Dst)-1)*t.n+(int(src)-1)]
+		n, err := EncodeFrame(slot.frame.buf[:], &f)
+		if err != nil {
+			t.fail(err)
+			continue
+		}
+		slot.frame.len = n
+		if f.Dst == src {
+			dec, err := DecodeFrame(slot.frame.bytes())
+			if err != nil {
+				t.fail(err)
+				slot.frame.len = 0
+				continue
+			}
+			slot.payload = dec.Payload
+			slot.got = true
+			continue
+		}
+		if t.conns != nil {
+			if err := t.conns[int(src)-1].WriteTo(slot.frame.bytes(), f.Dst); err != nil {
+				t.fail(err)
+			}
+		}
+	}
+	t.delivered += int64(limit)
+}
+
+// Deliver implements rounds.Transport: it drains the destination's
+// endpoint until every copy sent to it this round has arrived, pacing
+// retransmissions of the missing ones, and gives up at the deadline —
+// counting each absentee as lost — so a Deliver can never hang. A run
+// cancellation aborts the wait immediately.
+func (t *Loopback) Deliver(r int, dst rounds.ProcessID, row []any) {
+	base := (int(dst) - 1) * t.n
+	pending := 0
+	for src := 0; src < t.n; src++ {
+		slot := &t.slots[base+src]
+		if slot.frame.len > 0 && !slot.got {
+			pending++
+		}
+	}
+	if pending > 0 && t.conns != nil {
+		t.await(r, dst, base, pending)
+	}
+	for src := 0; src < t.n; src++ {
+		slot := &t.slots[base+src]
+		if slot.got {
+			row[src] = slot.payload
+		} else {
+			row[src] = nil
+			if slot.frame.len > 0 {
+				t.lost++
+				t.delivered--
+				slot.frame.len = 0 // never retransmitted again
+			}
+		}
+	}
+}
+
+// await reads dst's endpoint until the round's pending copies arrive or
+// the deadline passes.
+func (t *Loopback) await(r int, dst rounds.ProcessID, base, pending int) {
+	conn := t.conns[int(dst)-1]
+	deadline := time.Now().Add(t.cfg.RoundTimeout)
+	interval := t.cfg.Retransmit
+	next := time.Now().Add(t.rng.jittered(interval))
+	const pollTick = 100 * time.Millisecond
+	for pending > 0 {
+		select {
+		case <-t.cancel:
+			return
+		default:
+		}
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		if !now.Before(next) {
+			for src := 0; src < t.n; src++ {
+				slot := &t.slots[base+src]
+				if slot.frame.len > 0 && !slot.got {
+					if err := t.conns[src].WriteTo(slot.frame.bytes(), dst); err != nil {
+						t.fail(err)
+					}
+				}
+			}
+			interval = backoff(interval, t.cfg.RoundTimeout/4)
+			next = now.Add(t.rng.jittered(interval))
+		}
+		wait := minTime(deadline, next)
+		if poll := now.Add(pollTick); poll.Before(wait) {
+			wait = poll
+		}
+		conn.SetReadDeadline(wait)
+		n, err := conn.ReadFrom(t.readBuf[:])
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				continue
+			}
+			t.fail(err)
+			return
+		}
+		data := t.readBuf[:n]
+		ft, fr, fsrc, fdst, ok := Peek(data, t.n)
+		if !ok || ft != TypeData || fr != r || fdst != dst {
+			continue // stale round, duplicate of a finished wait, or noise
+		}
+		slot := &t.slots[base+int(fsrc)-1]
+		if slot.frame.len == 0 || slot.got {
+			continue // unsolicited or duplicate
+		}
+		f, err := DecodeFrame(data)
+		if err != nil {
+			t.fail(err)
+			continue
+		}
+		slot.payload = f.Payload
+		slot.got = true
+		pending--
+	}
+}
+
+func minTime(a, b time.Time) time.Time {
+	if b.Before(a) {
+		return b
+	}
+	return a
+}
+
+// Delivered implements rounds.Transport.
+func (t *Loopback) Delivered() int64 { return t.delivered }
+
+// FaultCounts implements rounds.FaultCounter: copies written off at the
+// deadline surface as losses in the run's stats, the same plane faultnet
+// campaigns report into.
+func (t *Loopback) FaultCounts() (lost, delayed, duplicated int64) {
+	return t.lost, 0, 0
+}

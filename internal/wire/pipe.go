@@ -1,0 +1,108 @@
+package wire
+
+import "kset/internal/rounds"
+
+// mailSlot holds one encoded in-flight frame.
+type mailSlot struct {
+	buf [MaxFrame]byte
+	len int
+}
+
+// bytes returns the encoded frame, nil if the slot is empty.
+func (s *mailSlot) bytes() []byte {
+	if s.len == 0 {
+		return nil
+	}
+	return s.buf[:s.len]
+}
+
+// PipeTransport is the deterministic in-process wire harness: a
+// rounds.Transport that routes every copy through the frame codec — Send
+// encodes into a per-(src,dst) mailbox, Deliver decodes back out — with
+// no sockets, goroutines or timing anywhere. A run over it exercises
+// exactly the serialization the UDP transports use, so it pins down that
+// the codec preserves round semantics (results byte-identical to
+// MatrixTransport) independently of network behavior. The zero value is
+// ready to use.
+type PipeTransport struct {
+	n         int
+	delivered int64
+	mail      []mailSlot // mail[(dst-1)*n+(src-1)]
+	firstErr  error
+}
+
+// Reset implements rounds.Transport.
+func (p *PipeTransport) Reset(n int) {
+	if cap(p.mail) < n*n {
+		p.mail = make([]mailSlot, n*n)
+	}
+	p.mail = p.mail[:n*n]
+	p.n = n
+	p.delivered = 0
+	p.firstErr = nil
+	p.clearMail()
+}
+
+func (p *PipeTransport) clearMail() {
+	for i := range p.mail {
+		p.mail[i].len = 0
+	}
+}
+
+// BeginRound implements rounds.Transport: undrained frames of the
+// previous round are discarded, as the matrix transport does.
+func (p *PipeTransport) BeginRound(int) { p.clearMail() }
+
+// Send implements rounds.Transport: one frame is encoded per copy into
+// the destination's mailbox. Copies are counted here, exactly as
+// MatrixTransport counts them, so lossless results stay byte-identical.
+func (p *PipeTransport) Send(r int, src rounds.ProcessID, payload any, order []rounds.ProcessID, limit int) {
+	f := Frame{Type: TypeData, Round: r, Src: src, Payload: payload}
+	for k := 0; k < limit; k++ {
+		f.Dst = order[k]
+		slot := &p.mail[(int(f.Dst)-1)*p.n+(int(src)-1)]
+		n, err := EncodeFrame(slot.buf[:], &f)
+		if err != nil {
+			p.fail(err)
+			continue
+		}
+		slot.len = n
+	}
+	p.delivered += int64(limit)
+}
+
+// Deliver implements rounds.Transport by decoding the destination's
+// mailbox row.
+func (p *PipeTransport) Deliver(r int, dst rounds.ProcessID, row []any) {
+	base := (int(dst) - 1) * p.n
+	for src := 0; src < p.n; src++ {
+		row[src] = nil
+		slot := &p.mail[base+src]
+		data := slot.bytes()
+		if data == nil {
+			continue
+		}
+		f, err := DecodeFrame(data)
+		if err != nil || f.Type != TypeData || f.Round != r || int(f.Src) != src+1 || f.Dst != dst {
+			p.fail(err)
+			continue
+		}
+		row[src] = f.Payload
+	}
+}
+
+// Delivered implements rounds.Transport.
+func (p *PipeTransport) Delivered() int64 { return p.delivered }
+
+// Err returns the first codec error hit since Reset. The engine-facing
+// Transport methods cannot return errors, and a codec failure on
+// engine-generated payloads is a wire bug, not a runtime condition — the
+// copy is dropped (indistinguishable from loss) and the error is kept
+// here for tests and diagnostics.
+func (p *PipeTransport) Err() error { return p.firstErr }
+
+func (p *PipeTransport) fail(err error) {
+	if p.firstErr == nil && err != nil {
+		p.firstErr = err
+	}
+}

@@ -1,0 +1,228 @@
+package wire_test
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"kset/internal/condition"
+	"kset/internal/core"
+	"kset/internal/rounds"
+	"kset/internal/vector"
+	"kset/internal/wire"
+)
+
+// testScenario is the shared agreement instance of the equality tests:
+// n=4, t=2, k=2 over a max condition with one mid-run crash.
+func testScenario() (core.Params, condition.Condition, vector.Vector, rounds.FailurePattern) {
+	p := core.Params{N: 4, T: 2, K: 2, D: 1, L: 1}
+	c := condition.MustNewMax(p.N, 3, p.X(), p.L)
+	input := vector.OfInts(2, 1, 3, 1)
+	fp := rounds.FailurePattern{Crashes: map[rounds.ProcessID]rounds.Crash{
+		2: {Round: 1, AfterSends: 2},
+	}}
+	return p, c, input, fp
+}
+
+// pipeNetDial builds a Loopback dial hook over a fresh in-memory mesh.
+func pipeNetDial(pn *wire.PipeNet) func(n int) ([]wire.PacketConn, error) {
+	return func(n int) ([]wire.PacketConn, error) {
+		conns := make([]wire.PacketConn, n)
+		for i := range conns {
+			conns[i] = pn.Conn(rounds.ProcessID(i + 1))
+		}
+		return conns, nil
+	}
+}
+
+// runCond executes the shared scenario once over tr (nil = matrix).
+func runCond(t *testing.T, tr rounds.Transport) *rounds.Result {
+	t.Helper()
+	p, c, input, fp := testScenario()
+	res, err := core.NewRunner().RunCond(p, c, input, fp, false, tr, nil, nil)
+	if err != nil {
+		t.Fatalf("RunCond: %v", err)
+	}
+	return res
+}
+
+// TestPipeMatchesMatrix: a run through the codec harness is
+// byte-identical to the reliable matrix run — decisions, rounds, crash
+// set and message counts all equal.
+func TestPipeMatchesMatrix(t *testing.T) {
+	want := runCond(t, nil)
+	pipe := &wire.PipeTransport{}
+	got := runCond(t, pipe)
+	if err := pipe.Err(); err != nil {
+		t.Fatalf("pipe transport error: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("pipe result diverges from matrix:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPipeMatchesMatrixEarlyAndClassical covers the other two payload
+// shapes crossing the codec: the early-deciding wrapper and the
+// classical estimate flood.
+func TestPipeMatchesMatrixEarlyAndClassical(t *testing.T) {
+	p, c, input, fp := testScenario()
+	r := core.NewRunner()
+	wantE, err := r.RunEarly(p, c, input, fp, false, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("RunEarly: %v", err)
+	}
+	pipe := &wire.PipeTransport{}
+	gotE, err := r.RunEarly(p, c, input, fp, false, pipe, nil, nil)
+	if err != nil {
+		t.Fatalf("RunEarly over pipe: %v", err)
+	}
+	if err := pipe.Err(); err != nil {
+		t.Fatalf("pipe transport error: %v", err)
+	}
+	if !reflect.DeepEqual(wantE, gotE) {
+		t.Fatalf("early pipe result diverges:\n got %+v\nwant %+v", gotE, wantE)
+	}
+
+	wantC, err := r.RunClassical(p.N, p.T, p.K, input, fp, false, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("RunClassical: %v", err)
+	}
+	gotC, err := r.RunClassical(p.N, p.T, p.K, input, fp, false, pipe, nil, nil)
+	if err != nil {
+		t.Fatalf("RunClassical over pipe: %v", err)
+	}
+	if err := pipe.Err(); err != nil {
+		t.Fatalf("pipe transport error: %v", err)
+	}
+	if !reflect.DeepEqual(wantC, gotC) {
+		t.Fatalf("classical pipe result diverges:\n got %+v\nwant %+v", gotC, wantC)
+	}
+}
+
+// TestLoopbackLosslessMatchesMatrix: with no loss, a run over real UDP
+// datagrams produces a byte-identical result to the matrix run.
+func TestLoopbackLosslessMatchesMatrix(t *testing.T) {
+	want := runCond(t, nil)
+	p, _, _, _ := testScenario()
+	lb, err := wire.NewLoopback(wire.LoopbackConfig{}, p.N)
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	defer lb.Close()
+	got := runCond(t, lb)
+	if err := lb.Err(); err != nil {
+		t.Fatalf("loopback transport error: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("loopback result diverges from matrix:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoopbackRetransmitRecovers: a network dropping the first
+// transmission of every data frame still yields the matrix result — the
+// retransmission path, not luck, carries the round.
+func TestLoopbackRetransmitRecovers(t *testing.T) {
+	want := runCond(t, nil)
+	p, _, _, _ := testScenario()
+	pn := wire.NewPipeNet(p.N)
+	var mu sync.Mutex
+	seen := map[[3]int]bool{}
+	pn.SetDrop(func(src, dst rounds.ProcessID, frame []byte) bool {
+		ft, r, _, _, ok := wire.Peek(frame, p.N)
+		if !ok || ft != wire.TypeData {
+			return false
+		}
+		key := [3]int{int(src), int(dst), r}
+		mu.Lock()
+		defer mu.Unlock()
+		if !seen[key] {
+			seen[key] = true
+			return true
+		}
+		return false
+	})
+	lb, err := wire.NewLoopback(wire.LoopbackConfig{
+		RoundTimeout: 5 * time.Second,
+		Retransmit:   time.Millisecond,
+		Dial:         pipeNetDial(pn),
+	}, p.N)
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	defer lb.Close()
+	got := runCond(t, lb)
+	if err := lb.Err(); err != nil {
+		t.Fatalf("loopback transport error: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("lossy loopback result diverges from matrix:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLoopbackGivesUpAtDeadline: a destination cut off from one sender
+// forever terminates at the round deadline with the copies counted lost
+// and folded into the stats plane via rounds.FaultCounter — never a
+// hang.
+func TestLoopbackGivesUpAtDeadline(t *testing.T) {
+	p, _, _, _ := testScenario()
+	pn := wire.NewPipeNet(p.N)
+	pn.SetDrop(func(src, dst rounds.ProcessID, frame []byte) bool {
+		return src == 3 && dst == 1 // p3's copies never reach p1
+	})
+	lb, err := wire.NewLoopback(wire.LoopbackConfig{
+		RoundTimeout: 100 * time.Millisecond,
+		Retransmit:   time.Millisecond,
+		Dial:         pipeNetDial(pn),
+	}, p.N)
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	defer lb.Close()
+	start := time.Now()
+	res := runCond(t, lb)
+	if err := lb.Err(); err != nil {
+		t.Fatalf("loopback transport error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("lossy run took %v, expected prompt deadline give-up", elapsed)
+	}
+	lost, _, _ := lb.FaultCounts()
+	if lost == 0 || res.Lost != lost {
+		t.Fatalf("lost = %d (result %d), want equal and > 0", lost, res.Lost)
+	}
+	if res.MessagesDelivered >= runCond(t, nil).MessagesDelivered {
+		t.Fatalf("delivered count %d not reduced by losses", res.MessagesDelivered)
+	}
+}
+
+// TestLoopbackCancelAborts: Options.Cancel unblocks a Deliver waiting on
+// copies that will never arrive.
+func TestLoopbackCancelAborts(t *testing.T) {
+	p, c, input, fp := testScenario()
+	pn := wire.NewPipeNet(p.N)
+	pn.SetDrop(func(src, dst rounds.ProcessID, frame []byte) bool { return true })
+	lb, err := wire.NewLoopback(wire.LoopbackConfig{
+		RoundTimeout: time.Hour, // only cancellation can end the wait
+		Retransmit:   10 * time.Millisecond,
+		Dial:         pipeNetDial(pn),
+	}, p.N)
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	defer lb.Close()
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(cancel)
+	}()
+	start := time.Now()
+	_, err = core.NewRunner().RunCond(p, c, input, fp, false, lb, cancel, nil)
+	if !errors.Is(err, rounds.ErrCanceled) {
+		t.Fatalf("err = %v, want rounds.ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}

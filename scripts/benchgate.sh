@@ -33,6 +33,9 @@ cd "$(dirname "$0")/.."
 # plus versioned JSON envelope. Its cost must scale with breakdown keys,
 # never with the runs the checkpoint covers, so periodic checkpointing
 # cannot regress the 1-alloc/run campaign hot path (measured: 25 at PR 8).
+# WireEncode prices encoding one state-carrying data frame into a caller
+# buffer — the per-copy cost of every wire-transport send and ksetpeer
+# retransmission — and must stay allocation-free (measured: 0 at PR 9).
 budgets='
 BenchmarkE1Lattice 2400
 BenchmarkE9Adversary 400
@@ -42,10 +45,11 @@ BenchmarkEngineTransport/matrix 0
 BenchmarkEngineTransport/faultnet 0
 BenchmarkSubmitPath 40
 BenchmarkCheckpointEncode 60
+BenchmarkWireEncode 0
 '
 
-raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport|SubmitPath$|CheckpointEncode$' \
-	-benchmem -benchtime "$benchtime" -count 1 . ./internal/rounds/ ./internal/service/)"
+raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport|SubmitPath$|CheckpointEncode$|WireEncode$' \
+	-benchmem -benchtime "$benchtime" -count 1 . ./internal/rounds/ ./internal/service/ ./internal/wire/)"
 printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk -v budgets="$budgets" '

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -31,11 +32,12 @@ import (
 //
 // For batches, see NewCampaign and RunCampaign.
 type System struct {
-	p         Params
-	hasParams bool
-	cond      Condition
-	exec      Executor
-	faults    *FaultPlan
+	p           Params
+	hasParams   bool
+	cond        Condition
+	exec        Executor
+	faults      *FaultPlan
+	wireFactory TransportFactory
 
 	workers        int
 	procGoroutines bool
@@ -71,6 +73,9 @@ func New(opts ...Option) (*System, error) {
 		if err := s.faults.Validate(s.p.N); err != nil {
 			return nil, fmt.Errorf("kset: bad fault plan: %w: %w", err, ErrBadParams)
 		}
+	}
+	if s.wireFactory != nil && s.faults != nil {
+		return nil, fmt.Errorf("kset: WithTransport and WithFaultPlan are mutually exclusive (the wire transport owns its loss accounting): %w", ErrBadParams)
 	}
 	return s, nil
 }
@@ -205,6 +210,11 @@ func (figure2Exec) run(ctx context.Context, s *System, w *worker, sc *Scenario, 
 		return nil, err
 	}
 	out, err := w.runner.RunCond(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, ctx.Done(), res)
+	if err == nil {
+		if terr := transportErr(tr); terr != nil {
+			return nil, fmt.Errorf("kset: wire transport: %w", terr)
+		}
+	}
 	return mapCanceled(ctx, out, err)
 }
 
@@ -221,6 +231,11 @@ func (earlyExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, re
 		return nil, err
 	}
 	out, err := w.runner.RunEarly(s.p, s.cond, sc.Input, sc.FP, s.procGoroutines, tr, ctx.Done(), res)
+	if err == nil {
+		if terr := transportErr(tr); terr != nil {
+			return nil, fmt.Errorf("kset: wire transport: %w", terr)
+		}
+	}
 	return mapCanceled(ctx, out, err)
 }
 
@@ -237,6 +252,11 @@ func (classicalExec) run(ctx context.Context, s *System, w *worker, sc *Scenario
 		return nil, err
 	}
 	out, err := w.runner.RunClassical(s.p.N, s.p.T, s.p.K, sc.Input, sc.FP, s.procGoroutines, tr, ctx.Done(), res)
+	if err == nil {
+		if terr := transportErr(tr); terr != nil {
+			return nil, fmt.Errorf("kset: wire transport: %w", terr)
+		}
+	}
 	return mapCanceled(ctx, out, err)
 }
 
@@ -311,18 +331,42 @@ type worker struct {
 	runner *core.Runner
 	res    *rounds.Result
 	ft     *faultnet.Transport
+
+	// wt is the worker's wire transport under WithTransport, created by
+	// the owning System's factory on first use. Workers outlive Systems
+	// in the shared pool, so the owner is tracked and the transport is
+	// rebuilt (closing the old one's sockets) when a different System
+	// checks the worker out.
+	wt      rounds.Transport
+	wtOwner *System
 }
 
-// transport resolves the run's transport from the scenario's fault plan
-// (falling back to the system default): nil — the engine's allocation-free
-// matrix fast path — when no plan applies, otherwise the worker's fault
-// transport, reconfigured for the plan and reseeded per run so fault
-// draws depend only on (plan, scenario), never on worker count or
-// submission order.
+// transport resolves the run's transport: the System's wire transport
+// when one is installed (cached per worker), otherwise the scenario's
+// fault plan (falling back to the system default) — nil meaning the
+// engine's allocation-free matrix fast path. Fault-transport draws are
+// reseeded per run so they depend only on (plan, scenario), never on
+// worker count or submission order.
 func (w *worker) transport(s *System, sc *Scenario) (rounds.Transport, error) {
 	plan := sc.Faults
 	if plan == nil {
 		plan = s.faults
+	}
+	if s.wireFactory != nil {
+		if plan != nil {
+			return nil, fmt.Errorf("kset: Scenario.Faults conflicts with the system's WithTransport plane: %w", ErrBadParams)
+		}
+		if w.wt == nil || w.wtOwner != s {
+			if c, ok := w.wt.(io.Closer); ok {
+				c.Close()
+			}
+			tr, err := s.wireFactory(s.p.N)
+			if err != nil {
+				return nil, fmt.Errorf("kset: wire transport: %w", err)
+			}
+			w.wt, w.wtOwner = tr, s
+		}
+		return w.wt, nil
 	}
 	if plan == nil {
 		return nil, nil

@@ -1,0 +1,86 @@
+package kset
+
+import (
+	"time"
+
+	"kset/internal/rounds"
+	"kset/internal/wire"
+)
+
+// Transport is the message plane of a synchronous run: the seam between
+// the engine's crash adversary (who sends, in which order, how far a
+// crashing sender's broadcast gets) and whatever happens to a message
+// copy between hand-over and receipt. The module ships three planes —
+// the default in-memory delivery matrix, the fault injector installed by
+// WithFaultPlan, and the wire plane installed by WithTransport, which
+// moves every copy through encoded datagrams (and, for the UDP
+// transports, through real sockets). All satisfy one contract, pinned by
+// a shared conformance suite, so a scenario produces the same decisions
+// on any lossless plane.
+type Transport = rounds.Transport
+
+// TransportFactory builds one Transport instance for a system of n
+// processes. A System hands each of its pooled workers its own instance
+// (transports are not concurrency-safe), created lazily on the worker's
+// first run and reused for every run after it.
+type TransportFactory func(n int) (Transport, error)
+
+// WithTransport makes every synchronous run of the System move its round
+// payloads through transports built by the factory — see PipeWire and
+// UDPLoopback. It is mutually exclusive with WithFaultPlan and with
+// Scenario.Faults: the wire transports own their loss accounting (a copy
+// that misses its delivery deadline is counted into Result.Lost, the
+// same stats plane faultnet campaigns report into), so composing the two
+// fault planes would double-inject. Asynchronous runs have no message
+// plane and ignore it.
+func WithTransport(f TransportFactory) Option {
+	return func(s *System) { s.wireFactory = f }
+}
+
+// PipeWire returns a factory for the deterministic in-process wire
+// harness: every copy is encoded to datagram bytes and decoded back with
+// no sockets or timing anywhere. A lossless run over it is
+// byte-identical to the default matrix run — it exists to keep the wire
+// codec honest against the in-memory semantics, and as the fastest way
+// to exercise the serialization in tests and campaigns.
+func PipeWire() TransportFactory {
+	return func(int) (Transport, error) { return &wire.PipeTransport{}, nil }
+}
+
+// WireConfig tunes the UDP loopback wire transport.
+type WireConfig struct {
+	// RoundTimeout bounds how long a destination waits for a round's
+	// copies before the stragglers are written off as lost (default 2s).
+	RoundTimeout time.Duration
+	// Retransmit is the initial retransmission interval for missing
+	// copies, doubling with jitter up to RoundTimeout/4 (default 2ms).
+	Retransmit time.Duration
+	// Seed seeds the retransmission jitter (0 picks a fixed default).
+	Seed uint64
+}
+
+// UDPLoopback returns a factory for the UDP wire transport: n loopback
+// sockets in this process, one per simulated process, with every copy
+// crossing the kernel as a real datagram — retransmitted with backoff
+// until it arrives or the round deadline writes it off as lost. Lossless
+// runs decide identically to the matrix; runs with losses fold them into
+// Result.Lost. For agreement between separate OS processes, see
+// cmd/ksetpeer.
+func UDPLoopback(cfg WireConfig) TransportFactory {
+	return func(n int) (Transport, error) {
+		return wire.NewLoopback(wire.LoopbackConfig{
+			RoundTimeout: cfg.RoundTimeout,
+			Retransmit:   cfg.Retransmit,
+			Seed:         cfg.Seed,
+		}, n)
+	}
+}
+
+// transportErr surfaces a wire transport's deferred internal error (the
+// Transport interface itself cannot return one mid-run).
+func transportErr(tr rounds.Transport) error {
+	if e, ok := tr.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package kset_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"kset"
+)
+
+// wireScenario is a run with a mid-round crash — enough adversarial
+// structure to notice if a transport reorders, drops or re-delivers.
+func wireScenario() kset.Scenario {
+	return kset.Scenario{
+		Input: kset.VectorOf(4, 4, 4, 2, 1, 2),
+		FP: kset.FailurePattern{Crashes: map[kset.ProcessID]kset.Crash{
+			3: {Round: 1, AfterSends: 2},
+		}},
+	}
+}
+
+// TestWireTransportMatchesMatrix: for every synchronous executor, a run
+// whose payloads cross the wire codec (PipeWire) or real UDP datagrams
+// (UDPLoopback) produces a Result deeply equal to the default in-memory
+// matrix run — decisions, rounds, message counts, everything.
+func TestWireTransportMatchesMatrix(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	planes := []struct {
+		name string
+		f    kset.TransportFactory
+	}{
+		{"pipe", kset.PipeWire()},
+		{"udp", kset.UDPLoopback(kset.WireConfig{})},
+	}
+	for _, ex := range []kset.Executor{kset.Figure2, kset.EarlyDeciding, kset.Classical} {
+		sc := wireScenario()
+		sc.Executor = ex
+		base := testSystem(t, kset.WithParams(p), kset.WithCondition(cond))
+		want, err := base.RunScenario(context.Background(), sc)
+		if err != nil {
+			t.Fatalf("%s/matrix: %v", ex.Name(), err)
+		}
+		for _, pl := range planes {
+			sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond),
+				kset.WithTransport(pl.f))
+			got, err := sys.RunScenario(context.Background(), sc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", ex.Name(), pl.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: result diverged from matrix\n got: %+v\nwant: %+v",
+					ex.Name(), pl.name, got, want)
+			}
+		}
+	}
+}
+
+// TestWireTransportExclusive: the wire plane and the fault plane are
+// mutually exclusive — at construction and per scenario.
+func TestWireTransportExclusive(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	_, err := kset.New(kset.WithParams(p), kset.WithCondition(cond),
+		kset.WithTransport(kset.PipeWire()),
+		kset.WithFaultPlan(&kset.FaultPlan{Default: kset.LinkFaults{Loss: 0.5}}))
+	if !errors.Is(err, kset.ErrBadParams) {
+		t.Fatalf("WithTransport+WithFaultPlan: err = %v, want ErrBadParams", err)
+	}
+
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond),
+		kset.WithTransport(kset.PipeWire()))
+	sc := wireScenario()
+	sc.Faults = &kset.FaultPlan{Default: kset.LinkFaults{Loss: 0.5}}
+	if _, err := sys.RunScenario(context.Background(), sc); !errors.Is(err, kset.ErrBadParams) {
+		t.Fatalf("Scenario.Faults on a wire system: err = %v, want ErrBadParams", err)
+	}
+}
+
+// TestWireTransportConcurrent drives concurrent runs through the shared
+// worker pool: each worker must end up with its own transport instance
+// and every run must still match the matrix decision.
+func TestWireTransportConcurrent(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	base := testSystem(t, kset.WithParams(p), kset.WithCondition(cond))
+	want, err := base.RunScenario(context.Background(), wireScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond),
+		kset.WithTransport(kset.UDPLoopback(kset.WireConfig{Retransmit: time.Millisecond})))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := sys.RunScenario(context.Background(), wireScenario())
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				errs <- errors.New("concurrent wire run diverged from matrix")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestWireTransportAfterFaultSystem: two Systems sharing the worker pool —
+// one wired, one matrix — must not leak transports into each other's runs.
+func TestWireTransportAfterFaultSystem(t *testing.T) {
+	p := testParams()
+	cond := testCondition(t, p)
+	wired := testSystem(t, kset.WithParams(p), kset.WithCondition(cond),
+		kset.WithTransport(kset.PipeWire()))
+	plain := testSystem(t, kset.WithParams(p), kset.WithCondition(cond))
+	for i := 0; i < 4; i++ {
+		if _, err := wired.RunScenario(context.Background(), wireScenario()); err != nil {
+			t.Fatalf("wired run %d: %v", i, err)
+		}
+		res, err := plain.RunScenario(context.Background(), wireScenario())
+		if err != nil {
+			t.Fatalf("plain run %d: %v", i, err)
+		}
+		if res.Lost != 0 {
+			t.Fatalf("plain run %d reports Lost=%d", i, res.Lost)
+		}
+	}
+}
