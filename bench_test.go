@@ -338,6 +338,50 @@ func BenchmarkCollectorPath(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncCampaign prices the asynchronous campaign hot path — the
+// same fixed 512-scenario batch shape as BenchmarkCollectorPath, but
+// through the Asynchronous executor: virtual-scheduler runs on pooled
+// worker Runners with recycled Outcomes and dense crash-point scratch.
+func BenchmarkAsyncCampaign(b *testing.B) {
+	const n, m, x, l = 6, 4, 2, 2
+	c, err := kset.NewMaxCondition(n, m, x, l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := kset.New(
+		kset.WithParams(kset.Params{N: n, T: x, K: l, D: 0, L: l}),
+		kset.WithCondition(c),
+		kset.WithExecutor(kset.Asynchronous),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	input := kset.VectorOf(4, 4, 4, 2, 1, 2)
+	const batch = 512
+	scs := make([]kset.Scenario, batch)
+	for i := range scs {
+		scs[i] = kset.Scenario{Input: input, Seed: rng.Int63()}
+		if i%3 == 0 {
+			scs[i].AsyncCrashes = map[int]kset.CrashPoint{1 + rng.Intn(n): kset.CrashAfterWrite}
+		}
+	}
+	acc := kset.NewAccumulator()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := sys.RunCampaign(ctx, scs, kset.CollectInto(acc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Runs != batch || stats.Errors != 0 || stats.UndecidedRuns != 0 {
+			b.Fatalf("campaign ran %d/%d with %d errors, %d undecided",
+				stats.Runs, batch, stats.Errors, stats.UndecidedRuns)
+		}
+	}
+}
+
 // --- micro-benchmarks of the kernels ---
 
 // BenchmarkDecodeView times the Definition-4 view decoding that dominates
@@ -423,8 +467,9 @@ func BenchmarkAsyncMemoryAblation(b *testing.B) {
 	c := condition.MustNewMax(6, 4, 2, 2)
 	input := vector.OfInts(4, 4, 4, 2, 1, 2)
 	for name, kind := range map[string]async.MemoryKind{
-		"mutex":    async.MutexMemory,
-		"waitfree": async.WaitFreeMemory,
+		"mutex":      async.MutexMemory,
+		"waitfree":   async.WaitFreeMemory,
+		"msgpassing": async.MessagePassingMemory,
 	} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -83,11 +83,13 @@ type CampaignStats struct {
 	// Violations counts verified runs that failed the k-set agreement
 	// specification (only populated under VerifyRuns).
 	Violations int64 `json:"violations"`
-	// UndecidedRuns counts synchronous runs some process of which neither
-	// decided nor crashed within the round limit — possible only under a
-	// fault-injecting transport (reliable synchronous runs always
-	// terminate), so non-termination under faults is a counted outcome,
-	// never a hang.
+	// UndecidedRuns counts runs some process of which neither decided
+	// nor crashed: synchronous runs that exhausted the round limit
+	// (possible only under a fault-injecting transport — reliable
+	// synchronous runs always terminate) and asynchronous runs whose
+	// processes gave up their scan budget, the executable face of the
+	// ℓ ≤ x impossibility. Non-termination is a counted outcome, never a
+	// hang.
 	UndecidedRuns int64 `json:"undecided_runs,omitempty"`
 	// MessagesDelivered sums delivered messages across all runs.
 	MessagesDelivered int64 `json:"messages_delivered"`
@@ -464,15 +466,13 @@ func (c *Campaign) runOne(w *worker, shard []Collector, sc Scenario) {
 	} else {
 		o = core.Observe(res)
 		o.InCondition = c.sys.cond != nil && c.sys.cond.Contains(sc.Input)
-		if ex.synchronous() {
-			// Decided and crashed are disjoint on synchronous runs (a
-			// process that crashes mid-send never reaches its compute
-			// phase), so the remainder is the processes the round limit
-			// left undecided — nonzero only under an injected-fault
-			// transport.
-			if u := len(sc.Input) - len(res.Decisions) - len(res.Crashed); u > 0 {
-				o.Undecided = u
-			}
+		// Decided and crashed are disjoint (a process that crashes never
+		// reaches a deciding step), so the remainder is the processes the
+		// run left undecided — the round limit under an injected-fault
+		// transport on synchronous runs, the scan budget on asynchronous
+		// ones.
+		if u := len(sc.Input) - len(res.Decisions) - len(res.Crashed); u > 0 {
+			o.Undecided = u
 		}
 		if c.verify && ex.synchronous() {
 			v := Verify(sc.Input, sc.FP, res, c.sys.p.K)

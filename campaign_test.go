@@ -232,3 +232,65 @@ func TestCampaignDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestAsyncCampaignWorkerCountInvariance: asynchronous campaigns are a
+// pure function of their scenario list — the virtual scheduler replaces
+// wall-clock jitter, so the same seeds must yield byte-identical stats
+// whether one worker runs the sweep or sixteen race through it.
+func TestAsyncCampaignWorkerCountInvariance(t *testing.T) {
+	const n, m, x, l = 6, 4, 2, 2
+	cond, err := kset.NewMaxCondition(n, m, x, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := kset.Params{N: n, T: x, K: l, D: 0, L: l}
+
+	// Seeded workload mixing in-condition and arbitrary inputs, crash
+	// draws and all three memory substrates' default — the async plane's
+	// analogue of seededScenarios.
+	rng := rand.New(rand.NewSource(23))
+	const runs = 600
+	scs := make([]kset.Scenario, runs)
+	for i := range scs {
+		input := make(kset.Vector, n)
+		for j := range input {
+			input[j] = kset.Value(1 + rng.Intn(m))
+		}
+		var crashes map[int]kset.CrashPoint
+		if k := rng.Intn(x + 1); k > 0 {
+			crashes = make(map[int]kset.CrashPoint, k)
+			for len(crashes) < k {
+				id := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					crashes[id] = kset.CrashBeforeWrite
+				} else {
+					crashes[id] = kset.CrashAfterWrite
+				}
+			}
+		}
+		scs[i] = kset.Scenario{Input: input, Seed: rng.Int63(), AsyncCrashes: crashes}
+	}
+
+	run := func(workers int) *kset.CampaignStats {
+		sys := testSystem(t, kset.WithParams(p), kset.WithCondition(cond),
+			kset.WithExecutor(kset.Asynchronous), kset.WithWorkers(workers))
+		stats, err := sys.RunCampaign(context.Background(), scs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+
+	first := run(1)
+	if first.Runs != runs || first.Errors != 0 {
+		t.Fatalf("campaign ran %d/%d scenarios with %d errors", first.Runs, runs, first.Errors)
+	}
+	if first.UndecidedRuns == 0 {
+		t.Fatal("workload never exercised the give-up path; stats too weak to pin invariance")
+	}
+	for _, workers := range []int{4, 16} {
+		if again := run(workers); !reflect.DeepEqual(first, again) {
+			t.Fatalf("same scenarios diverged at workers=%d:\n%+v\nvs\n%+v", workers, first, again)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package async
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"kset/internal/vector"
@@ -8,10 +9,16 @@ import (
 
 // Store is the shared-memory interface the asynchronous algorithm runs on:
 // a single-writer-per-entry array with an atomic snapshot scan.
+//
+// Scan returns an epoch-published vector: an immutable array shared by
+// every caller that observes the same state. Callers must treat it as
+// read-only and Clone it before mutating; in exchange, a warm Scan (no
+// write since the last one) performs no allocation at all.
 type Store interface {
 	// Write sets entry i (0-based); only process i+1 may write it.
 	Write(i int, v vector.Value)
-	// Scan returns an atomic snapshot of the whole array.
+	// Scan returns an atomic snapshot of the whole array. The returned
+	// vector is immutable and shared; callers must not modify it.
 	Scan() vector.Vector
 	// AnyNonBottom returns the greatest non-⊥ entry visible, or ⊥.
 	AnyNonBottom() vector.Value
@@ -38,14 +45,50 @@ var (
 // Each scan terminates after at most n+2 collects (n single moves force a
 // double move), making both operations wait-free. Scans are linearizable,
 // hence totally ordered by containment in the algorithm's write-once use —
-// the property the agreement argument needs. The mutex-based Snapshot is
-// the simulation stand-in; this is the real construction, and the two are
-// interchangeable through Store (Config.Memory selects).
+// the property the agreement argument needs.
+//
+// On top of the classical construction, in-process instances publish
+// epochs: a version counter is bumped after every register store, and the
+// last clean double collect is cached as an immutable (version, vector)
+// pair. A Scan that observes an unchanged version returns the cached
+// vector with zero allocation and zero register reads; only the first
+// scan after a write pays for a fresh double collect. The cache is
+// conservative by construction — it is tagged with a version loaded
+// before its confirming collects, so it contains every write whose
+// version bump precedes the tag, and a fast-path hit therefore contains
+// every completed write (registers are read-monotone, so containing more
+// is always linearizable). Register arrays emulated over the
+// message-passing network bypass the cache: their reads are quorum
+// operations and stay that way.
+//
+// The mutex-based Snapshot is the serialized stand-in; this is the real
+// construction, and the two are interchangeable through Store
+// (Config.Memory selects).
 type AtomicSnapshot struct {
 	regs RegisterArray
+
+	// local is non-nil when regs is the in-process array: only then are
+	// version bumps and the clean-epoch cache meaningful (remote arrays
+	// have no single memory to version).
+	local   localRegs
+	version atomic.Uint64
+	clean   atomic.Pointer[epoch]
+
+	// initial is the shared all-⊥ register every entry starts from;
+	// registers are immutable once stored, so one value serves all n
+	// entries and every Reset.
+	initial *snapReg
 }
 
-// snapReg is one single-writer register's contents.
+// epoch is one published clean double collect: the snapshot state vec as
+// of version ver. vec is immutable once published.
+type epoch struct {
+	ver uint64
+	vec vector.Vector
+}
+
+// snapReg is one single-writer register's contents. A stored register is
+// immutable: writers always store a fresh value, never mutate an old one.
 type snapReg struct {
 	value vector.Value
 	seq   uint64
@@ -79,15 +122,31 @@ func (l localRegs) Store(i int, r *snapReg) { l[i].Store(r) }
 // NewAtomicSnapshot creates a wait-free snapshot object with n entries
 // over in-process atomic registers.
 func NewAtomicSnapshot(n int) *AtomicSnapshot {
-	regs := make(localRegs, n)
-	for i := range regs {
-		regs[i].Store(&snapReg{value: vector.Bottom, view: vector.New(n)})
+	s := &AtomicSnapshot{}
+	s.Reset(n)
+	return s
+}
+
+// Reset restores the snapshot to n all-⊥ entries, reusing its register
+// array when the size allows. Pooled runners call it between runs; the
+// version advances (never rewinds) so stale epoch caches can never serve
+// a fast-path scan of the new run.
+func (s *AtomicSnapshot) Reset(n int) {
+	if len(s.local) != n {
+		s.local = make(localRegs, n)
+		s.regs = s.local
+		s.initial = &snapReg{value: vector.Bottom, view: vector.New(n)}
 	}
-	return &AtomicSnapshot{regs: regs}
+	for i := range s.local {
+		s.local[i].Store(s.initial)
+	}
+	s.version.Add(1)
+	s.clean.Store(&epoch{ver: s.version.Load(), vec: s.initial.view})
 }
 
 // NewSnapshotOver runs the snapshot construction over any register array
-// (every register must be initialized non-nil).
+// (every register must be initialized non-nil). The epoch cache stays
+// disabled: a remote array's registers have no shared version to publish.
 func NewSnapshotOver(regs RegisterArray) *AtomicSnapshot {
 	return &AtomicSnapshot{regs: regs}
 }
@@ -98,34 +157,91 @@ func (s *AtomicSnapshot) Write(i int, v vector.Value) {
 	view := s.Scan()
 	old := s.regs.Load(i)
 	s.regs.Store(i, &snapReg{value: v, seq: old.seq + 1, view: view})
-}
-
-// collect reads every register once (not atomically as a whole).
-func (s *AtomicSnapshot) collect() []*snapReg {
-	out := make([]*snapReg, s.regs.Len())
-	for i := range out {
-		out[i] = s.regs.Load(i)
+	if s.local != nil {
+		// The bump after the store makes the epoch tag conservative: every
+		// write counted by a version has already stored its register.
+		s.version.Add(1)
 	}
-	return out
 }
 
-// Scan implements Store with the double-collect-or-borrow loop.
+// scanScratch is the pooled per-scan working set: the two collect arrays
+// of the double-collect loop and the per-entry move counters. Pooling it
+// keeps concurrent scanners safe while charging the slow path zero
+// steady-state allocations beyond the published vector itself.
+type scanScratch struct {
+	prev, cur []*snapReg
+	moved     []uint8
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+func getScratch(n int) *scanScratch {
+	sc := scanPool.Get().(*scanScratch)
+	if cap(sc.prev) < n {
+		sc.prev = make([]*snapReg, n)
+		sc.cur = make([]*snapReg, n)
+		sc.moved = make([]uint8, n)
+	}
+	sc.prev = sc.prev[:n]
+	sc.cur = sc.cur[:n]
+	sc.moved = sc.moved[:n]
+	for i := range sc.moved {
+		sc.moved[i] = 0
+	}
+	return sc
+}
+
+// collectInto reads every register once (not atomically as a whole).
+func (s *AtomicSnapshot) collectInto(dst []*snapReg) {
+	for i := range dst {
+		dst[i] = s.regs.Load(i)
+	}
+}
+
+// Scan implements Store. The fast path serves the published epoch; the
+// slow path runs the double-collect-or-borrow loop and republishes.
 func (s *AtomicSnapshot) Scan() vector.Vector {
+	if s.local != nil {
+		if ep := s.clean.Load(); ep != nil && ep.ver == s.version.Load() {
+			return ep.vec
+		}
+	}
+	return s.scanSlow()
+}
+
+func (s *AtomicSnapshot) scanSlow() vector.Vector {
 	n := s.regs.Len()
-	moved := make([]int, n)
-	prev := s.collect()
+	sc := getScratch(n)
+	defer scanPool.Put(sc)
+
+	// ver tags the epoch a clean double collect publishes. It must be
+	// loaded before the earlier collect of the confirming pair: then any
+	// write whose bump precedes ver has stored its register before both
+	// collects and is contained in the published vector. (The vector may
+	// additionally contain in-flight stores whose bump lands later — a
+	// superset is linearizable because registers only grow.)
+	var ver uint64
+	if s.local != nil {
+		ver = s.version.Load()
+	}
+	prev, cur := sc.prev, sc.cur
+	s.collectInto(prev)
 	for {
-		cur := s.collect()
+		var verCur uint64
+		if s.local != nil {
+			verCur = s.version.Load()
+		}
+		s.collectInto(cur)
 		clean := true
 		for i := 0; i < n; i++ {
 			if cur[i].seq != prev[i].seq {
 				clean = false
-				moved[i]++
-				if moved[i] >= 2 {
+				sc.moved[i]++
+				if sc.moved[i] >= 2 {
 					// cur[i] was written entirely inside this scan: its
 					// embedded view is an atomic snapshot within our
-					// interval.
-					return cur[i].view.Clone()
+					// interval, immutable and safe to share.
+					return cur[i].view
 				}
 			}
 		}
@@ -134,9 +250,13 @@ func (s *AtomicSnapshot) Scan() vector.Vector {
 			for i := 0; i < n; i++ {
 				out[i] = cur[i].value
 			}
+			if s.local != nil {
+				s.clean.Store(&epoch{ver: ver, vec: out})
+			}
 			return out
 		}
-		prev = cur
+		prev, cur = cur, prev
+		ver = verCur
 	}
 }
 

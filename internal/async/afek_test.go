@@ -25,6 +25,22 @@ func TestAtomicSnapshotBasics(t *testing.T) {
 	if got := s.Scan(); !got.Equal(vector.OfInts(0, 9, 0)) {
 		t.Errorf("scan after rewrite = %v", got)
 	}
+	// Epoch publishing: a view returned before a write stays intact (the
+	// write replaces the published epoch, never mutates it), and warm
+	// scans share one vector with no copying.
+	before := s.Scan()
+	s.Write(0, 3)
+	if !before.Equal(vector.OfInts(0, 9, 0)) {
+		t.Errorf("published epoch mutated by later write: %v", before)
+	}
+	a, b := s.Scan(), s.Scan()
+	if &a[0] != &b[0] {
+		t.Error("warm scans did not share the published epoch")
+	}
+	s.Reset(3)
+	if got := s.Scan(); !got.Equal(vector.OfInts(0, 0, 0)) {
+		t.Errorf("scan after reset = %v", got)
+	}
 }
 
 // TestAtomicSnapshotWriteOnceContainment checks the agreement-critical
@@ -62,12 +78,14 @@ func TestAtomicSnapshotWriteOnceContainment(t *testing.T) {
 	}
 }
 
-// TestAtomicSnapshotMonotoneLinearizable stresses the helping path: every
-// writer rewrites its entry with strictly increasing values while scanners
-// hammer Scan. Linearizability of scans over per-entry-monotone registers
-// implies every pair of scans is entrywise comparable — a property plain
-// double collects without helping would not need, but borrowed embedded
-// views must also satisfy.
+// TestAtomicSnapshotMonotoneLinearizable stresses the helping path and
+// the epoch cache together: every writer rewrites its entry with strictly
+// increasing values while scanners hammer Scan, so executions mix warm
+// fast-path hits, fresh double collects and borrowed embedded views.
+// Linearizability of scans over per-entry-monotone registers implies
+// every pair of scans is entrywise comparable — a property plain double
+// collects without helping would not need, but borrowed views and cached
+// epochs must also satisfy.
 func TestAtomicSnapshotMonotoneLinearizable(t *testing.T) {
 	const n, writesPer, scansPer, scanners = 4, 300, 300, 4
 	s := NewAtomicSnapshot(n)
@@ -123,6 +141,40 @@ func TestAtomicSnapshotMonotoneLinearizable(t *testing.T) {
 	}
 }
 
+// TestAtomicSnapshotEpochStability pins the immutability contract the
+// epoch cache rests on under concurrency: while a single writer advances
+// one entry, a scanner's previously returned views never change value
+// after the fact. Each view is fingerprinted (copied) the moment Scan
+// returns; any later divergence means a published vector was mutated.
+func TestAtomicSnapshotEpochStability(t *testing.T) {
+	const n, writes, scans = 4, 500, 500
+	s := NewAtomicSnapshot(n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 1; v <= writes; v++ {
+			s.Write(v%n, vector.Value(v))
+		}
+	}()
+	type snap struct{ view, copy vector.Vector }
+	got := make([]snap, scans)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < scans; i++ {
+			v := s.Scan()
+			got[i] = snap{view: v, copy: v.Clone()}
+		}
+	}()
+	wg.Wait()
+	for i, g := range got {
+		if !g.view.Equal(g.copy) {
+			t.Fatalf("scan %d mutated after return: now %v, was %v", i, g.view, g.copy)
+		}
+	}
+}
+
 // TestAgreementOnWaitFreeMemory runs the full asynchronous algorithm on
 // the Afek-et-al substrate: outcomes must satisfy the same guarantees as
 // on the mutex substrate.
@@ -133,10 +185,9 @@ func TestAgreementOnWaitFreeMemory(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		out, err := Run(Config{
 			X: x, Cond: c, Input: input,
-			Crashes:  map[int]CrashPoint{5: CrashBeforeWrite},
-			Seed:     seed,
-			Memory:   WaitFreeMemory,
-			Patience: 2 * time.Second,
+			Crashes: map[int]CrashPoint{5: CrashBeforeWrite},
+			Seed:    seed,
+			Memory:  WaitFreeMemory,
 		})
 		if err != nil {
 			t.Fatal(err)

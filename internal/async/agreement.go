@@ -2,9 +2,7 @@ package async
 
 import (
 	"fmt"
-	"math/rand"
-	"sync"
-	"time"
+	"sort"
 
 	"kset/internal/condition"
 	"kset/internal/kerr"
@@ -52,17 +50,27 @@ type Config struct {
 	Cond condition.Condition
 	// Input is the full input vector (entry i proposed by process i+1).
 	Input vector.Vector
-	// Crashes maps 1-based process ids to crash points.
+	// Crashes maps 1-based process ids to crash points. At most one of
+	// Crashes and CrashPoints may be set.
 	Crashes map[int]CrashPoint
-	// Seed drives the per-process scheduling jitter, making the
-	// interleavings reproducible per seed.
+	// CrashPoints is the dense form of Crashes: entry i is the crash
+	// point of process i+1. Batch drivers reuse one slice across runs and
+	// skip the per-run map. When non-nil its length must be n.
+	CrashPoints []CrashPoint
+	// Seed drives the virtual scheduler: per-process start delays, the
+	// per-pass step order and (for MessagePassingMemory) the quorum
+	// draws. Executions are a pure function of (Config, Seed) — the same
+	// seed replays the same interleaving, decisions and outcome.
 	Seed int64
-	// Patience bounds how long an undecided process keeps re-scanning
-	// before giving up (condition-based termination is conditional; giving
-	// up is reported, not an error). Defaults to 300ms.
-	Patience time.Duration
+	// ScanBudget bounds how many unsuccessful re-scans an undecided
+	// process performs before giving up (condition-based termination is
+	// conditional; giving up is reported, not an error). 0 selects a
+	// default generous enough that in-condition runs always decide well
+	// within it. Replaces the former wall-clock Patience: the scheduler
+	// is virtual, so waiting is counted in steps, not time.
+	ScanBudget int
 	// Memory selects the snapshot substrate; the algorithm is oblivious to
-	// the choice (both are linearizable).
+	// the choice (all are linearizable).
 	Memory MemoryKind
 	// Cancel, when non-nil, aborts the run early when it is closed (e.g. a
 	// context's Done channel): undecided processes stop re-scanning and are
@@ -70,151 +78,137 @@ type Config struct {
 	Cancel <-chan struct{}
 }
 
-// Outcome reports one asynchronous execution.
+// Outcome reports one asynchronous execution. Both fields are plain
+// arrays so pooled runners recycle them across runs; same-seed runs
+// produce byte-identical outcomes.
 type Outcome struct {
-	// Decisions maps 1-based process ids to decided values.
-	Decisions map[int]vector.Value
-	// Undecided lists correct processes that exhausted their patience:
-	// with an input outside the condition this is expected behavior.
+	// Decided holds the decisions as a vector: entry i is the value
+	// process i+1 decided, ⊥ if it crashed or gave up.
+	Decided vector.Vector
+	// Undecided lists correct processes (1-based, ascending) that
+	// exhausted their scan budget: with an input outside the condition
+	// this is expected behavior.
 	Undecided []int
+}
+
+// Decision returns the value process id (1-based) decided, if any.
+func (o *Outcome) Decision(id int) (vector.Value, bool) {
+	if id < 1 || id > len(o.Decided) || o.Decided[id-1] == vector.Bottom {
+		return vector.Bottom, false
+	}
+	return o.Decided[id-1], true
+}
+
+// DecidedCount returns how many processes decided.
+func (o *Outcome) DecidedCount() int {
+	c := 0
+	for _, v := range o.Decided {
+		if v != vector.Bottom {
+			c++
+		}
+	}
+	return c
 }
 
 // DistinctDecisions returns the set of decided values.
 func (o *Outcome) DistinctDecisions() vector.Set {
-	var s vector.Set
-	for _, v := range o.Decisions {
-		s = s.Add(v)
+	return o.Decided.Vals()
+}
+
+// reset sizes the outcome for n processes and clears it.
+func (o *Outcome) reset(n int) {
+	if cap(o.Decided) < n {
+		o.Decided = vector.New(n)
+	} else {
+		o.Decided = o.Decided[:n]
+		for i := range o.Decided {
+			o.Decided[i] = vector.Bottom
+		}
 	}
-	return s
+	o.Undecided = o.Undecided[:0]
+}
+
+// validate checks the configuration and returns n and the run's dense
+// crash points (dst, resized and filled, when crashes are configured;
+// nil for a crash-free run).
+func (cfg *Config) validate(dst []CrashPoint) (int, []CrashPoint, error) {
+	n := len(cfg.Input)
+	if n < 2 {
+		return 0, nil, fmt.Errorf("async: n=%d, want ≥ 2: %w", n, kerr.ErrBadParams)
+	}
+	if !cfg.Input.IsFull() {
+		return 0, nil, fmt.Errorf("async: input %v has ⊥ entries: %w", cfg.Input, kerr.ErrBadInput)
+	}
+	if cfg.Cond == nil || cfg.Cond.N() != n {
+		return 0, nil, fmt.Errorf("async: condition missing or sized %d, want %d: %w", condN(cfg.Cond), n, kerr.ErrBadParams)
+	}
+	if cfg.X < 0 || cfg.X >= n {
+		return 0, nil, fmt.Errorf("async: x=%d, want 0 ≤ x < n: %w", cfg.X, kerr.ErrBadParams)
+	}
+	if cfg.ScanBudget < 0 {
+		return 0, nil, fmt.Errorf("async: ScanBudget=%d, want ≥ 0: %w", cfg.ScanBudget, kerr.ErrBadParams)
+	}
+	if cfg.Crashes != nil && cfg.CrashPoints != nil {
+		return 0, nil, fmt.Errorf("async: both Crashes and CrashPoints set: %w", kerr.ErrBadParams)
+	}
+	var crashes []CrashPoint
+	switch {
+	case cfg.CrashPoints != nil:
+		if len(cfg.CrashPoints) != n {
+			return 0, nil, fmt.Errorf("async: CrashPoints sized %d, want %d: %w", len(cfg.CrashPoints), n, kerr.ErrBadParams)
+		}
+		crashes = cfg.CrashPoints
+	case len(cfg.Crashes) > 0:
+		if cap(dst) < n {
+			dst = make([]CrashPoint, n)
+		}
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = NoCrash
+		}
+		for id, cp := range cfg.Crashes {
+			if id < 1 || id > n {
+				return 0, nil, fmt.Errorf("async: crash of unknown process %d: %w", id, kerr.ErrBadParams)
+			}
+			dst[id-1] = cp
+		}
+		crashes = dst
+	}
+	numCrashes := 0
+	for _, cp := range crashes {
+		if cp != NoCrash {
+			numCrashes++
+		}
+	}
+	if numCrashes > cfg.X {
+		return 0, nil, fmt.Errorf("async: %d crashes exceed x=%d: %w", numCrashes, cfg.X, kerr.ErrBadParams)
+	}
+	return n, crashes, nil
 }
 
 // Run executes the condition-based asynchronous ℓ-set agreement algorithm:
 // every process deposits its value in the snapshot, re-scans until at most
 // x entries are missing, and decides max(h_ℓ(view)) if the view can still
 // belong to the condition (P); otherwise it adopts any value already
-// decided by another process. Processes crash per cfg.Crashes.
+// decided by another process. Processes crash per the configured crash
+// points. The execution is deterministic per seed (see Config.Seed).
+//
+// Run checks a pooled Runner out for the call; batch drivers should hold
+// their own Runner and use RunInto to also recycle the Outcome.
 func Run(cfg Config) (*Outcome, error) {
-	n := len(cfg.Input)
-	if n < 2 {
-		return nil, fmt.Errorf("async: n=%d, want ≥ 2: %w", n, kerr.ErrBadParams)
+	r := runnerPool.Get().(*Runner)
+	out := new(Outcome)
+	err := r.RunInto(cfg, out)
+	runnerPool.Put(r)
+	if err != nil {
+		return nil, err
 	}
-	if !cfg.Input.IsFull() {
-		return nil, fmt.Errorf("async: input %v has ⊥ entries: %w", cfg.Input, kerr.ErrBadInput)
-	}
-	if cfg.Cond == nil || cfg.Cond.N() != n {
-		return nil, fmt.Errorf("async: condition missing or sized %d, want %d: %w", condN(cfg.Cond), n, kerr.ErrBadParams)
-	}
-	if cfg.X < 0 || cfg.X >= n {
-		return nil, fmt.Errorf("async: x=%d, want 0 ≤ x < n: %w", cfg.X, kerr.ErrBadParams)
-	}
-	if len(cfg.Crashes) > cfg.X {
-		return nil, fmt.Errorf("async: %d crashes exceed x=%d: %w", len(cfg.Crashes), cfg.X, kerr.ErrBadParams)
-	}
-	patience := cfg.Patience
-	if patience <= 0 {
-		patience = 300 * time.Millisecond
-	}
-
-	var values, decisions Store // the emulated input vector; decided values
-	var network *Network
-	switch cfg.Memory {
-	case WaitFreeMemory:
-		values = NewAtomicSnapshot(n)
-		decisions = NewAtomicSnapshot(n)
-	case MessagePassingMemory:
-		nw, err := NewNetwork(n, cfg.X, 2*n, n, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		valRegs, err := nw.Registers(0, n)
-		if err != nil {
-			nw.Close()
-			return nil, err
-		}
-		decRegs, err := nw.Registers(n, n)
-		if err != nil {
-			nw.Close()
-			return nil, err
-		}
-		network = nw
-		values = NewSnapshotOver(valRegs)
-		decisions = NewSnapshotOver(decRegs)
-		defer nw.Close()
-	default:
-		values = NewSnapshot(n)
-		decisions = NewSnapshot(n)
-	}
-
-	out := &Outcome{Decisions: make(map[int]vector.Value)}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for id := 1; id <= n; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r := rand.New(rand.NewSource(cfg.Seed + int64(id)))
-			jitter := func() { time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond) }
-
-			crash := cfg.Crashes[id]
-			if crash == CrashBeforeWrite {
-				if network != nil {
-					network.Crash(id) // the replica dies with the process
-				}
-				return
-			}
-			jitter()
-			values.Write(id-1, cfg.Input[id-1])
-			if crash == CrashAfterWrite {
-				if network != nil {
-					network.Crash(id)
-				}
-				return
-			}
-
-			deadline := time.Now().Add(patience)
-			for {
-				jitter()
-				view := values.Scan()
-				if view.BottomCount() <= cfg.X {
-					if condition.Predicate(cfg.Cond, view) {
-						if h, ok := condition.DecodeView(cfg.Cond, view); ok && !h.Empty() {
-							d := h.Max()
-							decisions.Write(id-1, d)
-							mu.Lock()
-							out.Decisions[id] = d
-							mu.Unlock()
-							return
-						}
-					}
-					// ¬P is stable under growing views (completions only
-					// shrink): from here on only adoption can decide.
-				}
-				if d := decisions.AnyNonBottom(); d != vector.Bottom {
-					mu.Lock()
-					out.Decisions[id] = d
-					mu.Unlock()
-					return
-				}
-				cancelled := false
-				if cfg.Cancel != nil {
-					select {
-					case <-cfg.Cancel:
-						cancelled = true
-					default:
-					}
-				}
-				if cancelled || time.Now().After(deadline) {
-					mu.Lock()
-					out.Undecided = append(out.Undecided, id)
-					mu.Unlock()
-					return
-				}
-			}
-		}(id)
-	}
-	wg.Wait()
 	return out, nil
 }
+
+// sortInts sorts a small int slice ascending. The undecided list is at
+// most n entries, so insertion via sort.Ints is never a hot cost.
+func sortInts(xs []int) { sort.Ints(xs) }
 
 func condN(c condition.Condition) int {
 	if c == nil {

@@ -22,11 +22,22 @@ func TestSnapshotBasics(t *testing.T) {
 	if got := s.AnyNonBottom(); got != 7 {
 		t.Errorf("AnyNonBottom = %v", got)
 	}
-	// Scan returns a copy: mutating it must not affect the object.
-	v := s.Scan()
-	v[0] = 9
-	if got := s.Scan(); got[0] != vector.Bottom {
-		t.Error("Scan leaked internal storage")
+	// Scans are epoch-published: a view returned before a write is an
+	// immutable copy the write must not touch.
+	before := s.Scan()
+	s.Write(0, 9)
+	if !before.Equal(vector.OfInts(0, 7, 0)) {
+		t.Errorf("published epoch mutated by later write: %v", before)
+	}
+	// Warm scans share one published vector (no per-scan copy).
+	a, b := s.Scan(), s.Scan()
+	if &a[0] != &b[0] {
+		t.Error("warm scans did not share the published epoch")
+	}
+	// Reset restores an all-⊥ array.
+	s.Reset(3)
+	if got := s.Scan(); !got.Equal(vector.OfInts(0, 0, 0)) {
+		t.Errorf("scan after reset = %v", got)
 	}
 }
 
@@ -77,8 +88,22 @@ func TestRunConfigErrors(t *testing.T) {
 		{"nil condition", func(c Config) Config { c.Cond = nil; return c }},
 		{"x negative", func(c Config) Config { c.X = -1; return c }},
 		{"x = n", func(c Config) Config { c.X = 4; return c }},
+		{"negative budget", func(c Config) Config { c.ScanBudget = -1; return c }},
 		{"too many crashes", func(c Config) Config {
 			c.Crashes = map[int]CrashPoint{1: CrashBeforeWrite, 2: CrashBeforeWrite}
+			return c
+		}},
+		{"crash of unknown process", func(c Config) Config {
+			c.Crashes = map[int]CrashPoint{5: CrashBeforeWrite}
+			return c
+		}},
+		{"crash points wrong length", func(c Config) Config {
+			c.CrashPoints = []CrashPoint{NoCrash, CrashBeforeWrite}
+			return c
+		}},
+		{"both crash forms", func(c Config) Config {
+			c.Crashes = map[int]CrashPoint{1: CrashBeforeWrite}
+			c.CrashPoints = []CrashPoint{CrashBeforeWrite, NoCrash, NoCrash, NoCrash}
 			return c
 		}},
 	}
@@ -117,7 +142,7 @@ func TestTerminationInCondition(t *testing.T) {
 			if crashes[id] != NoCrash {
 				continue
 			}
-			if _, ok := out.Decisions[id]; !ok {
+			if _, ok := out.Decision(id); !ok {
 				t.Fatalf("crashes=%v: correct p%d did not decide", crashes, id)
 			}
 		}
@@ -141,9 +166,7 @@ func TestSafetyOutsideCondition(t *testing.T) {
 		t.Fatal("input must be outside C")
 	}
 	for seed := int64(0); seed < 10; seed++ {
-		out, err := Run(Config{
-			X: x, Cond: c, Input: input, Seed: seed, Patience: 50 * time.Millisecond,
-		})
+		out, err := Run(Config{X: x, Cond: c, Input: input, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,8 +174,8 @@ func TestSafetyOutsideCondition(t *testing.T) {
 		if distinct.Len() > l {
 			t.Fatalf("seed=%d: %d distinct values %v", seed, distinct.Len(), distinct)
 		}
-		for id, v := range out.Decisions {
-			if !input.Vals().Has(v) {
+		for id := 1; id <= n; id++ {
+			if v, ok := out.Decision(id); ok && !input.Vals().Has(v) {
 				t.Fatalf("seed=%d: p%d decided unproposed %v", seed, id, v)
 			}
 		}
@@ -187,15 +210,119 @@ func TestBlockingOutsideCondition(t *testing.T) {
 	if !allViewsFail {
 		t.Fatal("premise broken: some view can still be completed into C")
 	}
-	out, err := Run(Config{X: x, Cond: c, Input: input, Seed: 3, Patience: 50 * time.Millisecond})
+	out, err := Run(Config{X: x, Cond: c, Input: input, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Decisions) != 0 {
-		t.Fatalf("unexpected decisions %v", out.Decisions)
+	if out.DecidedCount() != 0 {
+		t.Fatalf("unexpected decisions %v", out.Decided)
 	}
+	// The undecided list is sorted, so the blocked run reports exactly
+	// 1..n in order.
 	if len(out.Undecided) != n {
 		t.Fatalf("undecided = %v, want all %d", out.Undecided, n)
+	}
+	for i, id := range out.Undecided {
+		if id != i+1 {
+			t.Fatalf("undecided not sorted: %v", out.Undecided)
+		}
+	}
+}
+
+// TestOutcomeDeterministic: a run is a pure function of (Config, Seed) —
+// repeating a seed replays the identical outcome, on fresh and on reused
+// runners alike, and the undecided list is byte-identical too.
+func TestOutcomeDeterministic(t *testing.T) {
+	n, m, x, l := 6, 4, 2, 2
+	c := condition.MustNewMax(n, m, x, l)
+	inC := vector.OfInts(4, 4, 4, 2, 1, 2)
+	outC := vector.OfInts(4, 3, 2, 1, 1, 2) // outside C: some processes give up
+	r := NewRunner()
+	for _, tc := range []struct {
+		name  string
+		input vector.Vector
+	}{{"in-condition", inC}, {"outside-condition", outC}} {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				cfg := Config{
+					X: x, Cond: c, Input: tc.input, Seed: seed,
+					Crashes: map[int]CrashPoint{6: CrashAfterWrite},
+				}
+				first, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for rep := 0; rep < 3; rep++ {
+					var got Outcome
+					if err := r.RunInto(cfg, &got); err != nil {
+						t.Fatal(err)
+					}
+					if !got.Decided.Equal(first.Decided) {
+						t.Fatalf("seed %d rep %d: decisions %v != %v", seed, rep, got.Decided, first.Decided)
+					}
+					if len(got.Undecided) != len(first.Undecided) {
+						t.Fatalf("seed %d rep %d: undecided %v != %v", seed, rep, got.Undecided, first.Undecided)
+					}
+					for i := range got.Undecided {
+						if got.Undecided[i] != first.Undecided[i] {
+							t.Fatalf("seed %d rep %d: undecided %v != %v", seed, rep, got.Undecided, first.Undecided)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSubstrateGridIdentical is the substrate-interchangeability property
+// test: for the same (seed, input, crashes), the mutex, wait-free and
+// message-passing substrates produce identical outcomes — under the
+// virtual scheduler every substrate serves each scan the exact register
+// state, so the grid agrees not just on value sets but bit for bit.
+func TestSubstrateGridIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	grid := []MemoryKind{MutexMemory, WaitFreeMemory, MessagePassingMemory}
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(4)
+		m := 2 + r.Intn(3)
+		x := r.Intn((n + 1) / 2) // x < n/2 so the grid includes message passing
+		l := 1 + r.Intn(2)
+		c := condition.MustNewMax(n, m, x, l)
+		input := vector.New(n)
+		for i := range input {
+			input[i] = vector.Value(1 + r.Intn(m))
+		}
+		crashes := map[int]CrashPoint{}
+		perm := r.Perm(n)
+		for i := 0; i < r.Intn(x+1); i++ {
+			crashes[perm[i]+1] = CrashPoint(1 + r.Intn(2))
+		}
+		var ref *Outcome
+		for _, kind := range grid {
+			out, err := Run(Config{
+				X: x, Cond: c, Input: input, Crashes: crashes,
+				Seed: int64(trial), Memory: kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = out
+				continue
+			}
+			if !out.Decided.Equal(ref.Decided) {
+				t.Fatalf("trial %d: %v decided %v, want %v (input %v crashes %v)",
+					trial, kind, out.Decided, ref.Decided, input, crashes)
+			}
+			if len(out.Undecided) != len(ref.Undecided) {
+				t.Fatalf("trial %d: %v undecided %v, want %v", trial, kind, out.Undecided, ref.Undecided)
+			}
+			for i := range out.Undecided {
+				if out.Undecided[i] != ref.Undecided[i] {
+					t.Fatalf("trial %d: %v undecided %v, want %v", trial, kind, out.Undecided, ref.Undecided)
+				}
+			}
+		}
 	}
 }
 
@@ -219,8 +346,7 @@ func TestPropertyRandom(t *testing.T) {
 			crashes[perm[i]+1] = CrashPoint(1 + r.Intn(2))
 		}
 		out, err := Run(Config{
-			X: x, Cond: c, Input: input, Crashes: crashes,
-			Seed: int64(trial), Patience: 100 * time.Millisecond,
+			X: x, Cond: c, Input: input, Crashes: crashes, Seed: int64(trial),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -228,8 +354,8 @@ func TestPropertyRandom(t *testing.T) {
 		if d := out.DistinctDecisions(); d.Len() > l {
 			t.Fatalf("trial %d: %d values %v > ℓ=%d (input %v)", trial, d.Len(), d, l, input)
 		}
-		for id, v := range out.Decisions {
-			if !input.Vals().Has(v) {
+		for id := 1; id <= n; id++ {
+			if v, ok := out.Decision(id); ok && !input.Vals().Has(v) {
 				t.Fatalf("trial %d: p%d decided unproposed %v", trial, id, v)
 			}
 		}

@@ -16,6 +16,14 @@
 // decides and its decision is adopted); the package reports processes that
 // give up waiting, which is the executable face of the ℓ ≤ x impossibility.
 //
+// Executions are driven by a deterministic virtual scheduler (see
+// sched.go): processes are cooperative state machines advanced in seeded
+// shuffled passes, waiting is counted in re-scan steps (Config.ScanBudget)
+// rather than wall-clock time, and a run is a pure function of its Config
+// and Seed — the same seed replays the same interleaving, decisions and
+// Outcome bit for bit on any machine. Batch drivers reuse a Runner, which
+// pools every piece of per-run state.
+//
 // Paper map:
 //
 //	Section 4     Run — the condition-based asynchronous algorithm
@@ -24,6 +32,12 @@
 //
 // Three interchangeable linearizable memory substrates back the snapshot:
 // the lock-serialized simulation (MutexMemory), the wait-free Afek et al.
-// construction (WaitFreeMemory), and an ABD quorum emulation over an
-// asynchronous message-passing network (MessagePassingMemory, x < n/2).
+// construction (WaitFreeMemory), and an ABD quorum emulation over a
+// virtual asynchronous message-passing network (MessagePassingMemory,
+// x < n/2). All three publish scans as immutable epoch vectors: a warm
+// Scan — no write since the previous one — returns the published vector
+// with no allocation, which is what lets the wait-free construction beat
+// the mutex stand-in instead of losing to it. Under the virtual scheduler
+// all three substrates observe identical register histories, so a run's
+// outcome is identical across the whole substrate grid.
 package async

@@ -2,10 +2,7 @@ package async
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"kset/internal/vector"
 )
@@ -19,37 +16,37 @@ import (
 // Quorum intersection needs x < n/2 — the classical requirement for
 // emulating registers under asynchrony — which Run enforces for this
 // memory kind.
-
-// mpOp is the replica protocol operation.
-type mpOp int
-
-const (
-	mpRead mpOp = iota
-	mpWrite
-)
-
-// mpRequest is one replica-protocol message.
-type mpRequest struct {
-	op    mpOp
-	idx   int
-	reg   *snapReg // for writes
-	reply chan *snapReg
-}
+//
+// The network is virtual: instead of replica goroutines, jittered sleeps
+// and reply channels, each quorum operation picks a seeded pseudo-random
+// quorum of live replicas — the adversary's choice of "which n−x replies
+// arrive first" — and applies the protocol synchronously. The model is
+// unchanged (any two quorums of size n−x intersect, reads write back the
+// freshest value, crashed replicas stop responding), but an operation is
+// now a few array reads instead of 2n goroutine handoffs, and a run's
+// entire message schedule is a pure function of its seed.
 
 // Network is an asynchronous message-passing system of n process-replicas
-// emulating numRegs shared registers. Message handling is jittered by a
-// seeded source per replica; crashed replicas silently drop requests.
+// emulating numRegs shared registers. Replica reply order is drawn from a
+// seeded source; crashed replicas silently drop requests. A mutex guards
+// the replica state so snapshots layered on top may be driven from
+// concurrent goroutines; under the deterministic scheduler the lock is
+// uncontended and the operation order — hence every draw — is a pure
+// function of the seed.
 type Network struct {
+	mu      sync.Mutex
 	n, x    int
 	numRegs int
 	viewLen int
-	inboxes []chan mpRequest
-	crashed []atomic.Bool
-	done    chan struct{}
-	wg      sync.WaitGroup
+	rng     prng
+	// replicas[p][r] is replica p's copy of register r.
+	replicas [][]*snapReg
+	crashed  []bool
+	quorum   []int // scratch: live replica ids, partially shuffled per op
+	initial  *snapReg
 }
 
-// NewNetwork starts the n replica goroutines of a message-passing system
+// NewNetwork creates the n-replica virtual message-passing system
 // tolerating x < n/2 crashes, emulating numRegs registers (each
 // initialized to ⊥ with an empty embedded view of width viewLen).
 func NewNetwork(n, x, numRegs, viewLen int, seed int64) (*Network, error) {
@@ -62,102 +59,73 @@ func NewNetwork(n, x, numRegs, viewLen int, seed int64) (*Network, error) {
 	if numRegs < 1 || viewLen < 0 {
 		return nil, fmt.Errorf("async: bad register space (numRegs=%d viewLen=%d)", numRegs, viewLen)
 	}
-	nw := &Network{
-		n:       n,
-		x:       x,
-		numRegs: numRegs,
-		viewLen: viewLen,
-		inboxes: make([]chan mpRequest, n),
-		crashed: make([]atomic.Bool, n),
-		done:    make(chan struct{}),
-	}
-	for i := 0; i < n; i++ {
-		nw.inboxes[i] = make(chan mpRequest, 64)
-		nw.wg.Add(1)
-		go nw.replica(i, seed+int64(i))
-	}
+	nw := &Network{}
+	nw.reset(n, x, numRegs, viewLen, seed)
 	return nw, nil
 }
 
-// replica serves one process's copy of the register space until Close.
-func (nw *Network) replica(id int, seed int64) {
-	defer nw.wg.Done()
-	r := rand.New(rand.NewSource(seed))
-	regs := make([]*snapReg, nw.numRegs)
-	for i := range regs {
-		regs[i] = &snapReg{value: vector.Bottom, view: vector.New(nw.viewLen)}
+// reset reinitializes the network in place, reusing replica storage when
+// the shape allows. Pooled runners reset one network per run instead of
+// reallocating the n×numRegs replica matrix.
+func (nw *Network) reset(n, x, numRegs, viewLen int, seed int64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	sameShape := nw.n == n && nw.numRegs == numRegs && nw.viewLen == viewLen
+	nw.n, nw.x, nw.numRegs, nw.viewLen = n, x, numRegs, viewLen
+	nw.rng.reseed(seed)
+	if !sameShape {
+		nw.initial = &snapReg{value: vector.Bottom, view: vector.New(viewLen)}
+		nw.replicas = make([][]*snapReg, n)
+		for p := range nw.replicas {
+			nw.replicas[p] = make([]*snapReg, numRegs)
+		}
+		nw.crashed = make([]bool, n)
+		nw.quorum = make([]int, n)
 	}
-	for {
-		select {
-		case <-nw.done:
-			return
-		case req := <-nw.inboxes[id]:
-			if nw.crashed[id].Load() {
-				continue // crashed replicas drain silently
-			}
-			if r.Intn(4) == 0 {
-				time.Sleep(time.Duration(r.Intn(50)) * time.Microsecond)
-			}
-			switch req.op {
-			case mpWrite:
-				if req.reg.seq > regs[req.idx].seq {
-					regs[req.idx] = req.reg
-				}
-				req.reply <- regs[req.idx]
-			case mpRead:
-				req.reply <- regs[req.idx]
-			}
+	for p := range nw.replicas {
+		nw.crashed[p] = false
+		for r := range nw.replicas[p] {
+			nw.replicas[p][r] = nw.initial
 		}
 	}
 }
 
 // Crash makes replica id (1-based) stop responding; at most x replicas may
-// crash or quorum operations block.
+// crash or quorum operations lose their liveness guarantee.
 func (nw *Network) Crash(id int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	if id >= 1 && id <= nw.n {
-		nw.crashed[id-1].Store(true)
+		nw.crashed[id-1] = true
 	}
 }
 
-// Close shuts the replicas down and waits for them.
-func (nw *Network) Close() {
-	close(nw.done)
-	nw.wg.Wait()
-}
+// Close releases the network. The virtual system holds no goroutines or
+// sockets, so it is a no-op kept for interface compatibility with the
+// former goroutine-backed implementation.
+func (nw *Network) Close() {}
 
-// broadcast sends a request to every replica (each send in its own
-// goroutine so a full inbox of a crashed replica never blocks the caller)
-// and returns the reply channel, sized to never block repliers.
-func (nw *Network) broadcast(op mpOp, idx int, reg *snapReg) chan *snapReg {
-	reply := make(chan *snapReg, nw.n)
-	req := mpRequest{op: op, idx: idx, reg: reg, reply: reply}
-	for i := 0; i < nw.n; i++ {
-		i := i
-		go func() {
-			select {
-			case nw.inboxes[i] <- req:
-			case <-nw.done:
-			}
-		}()
-	}
-	return reply
-}
-
-// await collects n−x replies and returns the one with the greatest
-// sequence number.
-func (nw *Network) await(reply chan *snapReg) *snapReg {
-	var best *snapReg
-	for got := 0; got < nw.n-nw.x; got++ {
-		select {
-		case r := <-reply:
-			if best == nil || r.seq > best.seq {
-				best = r
-			}
-		case <-nw.done:
-			return best
+// drawQuorum fills nw.quorum with the live replicas and partially shuffles
+// a prefix of size q = n−x: the adversary's choice of which replies arrive
+// first. It returns that prefix (degraded to all live replicas if more
+// than x have crashed — a state Run's validation makes unreachable).
+// Callers hold nw.mu.
+func (nw *Network) drawQuorum() []int {
+	live := nw.quorum[:0]
+	for p := 0; p < nw.n; p++ {
+		if !nw.crashed[p] {
+			live = append(live, p)
 		}
 	}
-	return best
+	q := nw.n - nw.x
+	if q > len(live) {
+		q = len(live)
+	}
+	for i := 0; i < q; i++ {
+		j := i + nw.rng.intn(len(live)-i)
+		live[i], live[j] = live[j], live[i]
+	}
+	return live[:q]
 }
 
 // quorumArray is a RegisterArray window [offset, offset+count) over the
@@ -180,15 +148,21 @@ func (nw *Network) Registers(offset, count int) (RegisterArray, error) {
 func (q *quorumArray) Len() int { return q.count }
 
 // Load implements RegisterArray with the two-phase ABD read: query a
-// quorum, then write the freshest value back to a quorum before returning
-// it, so that once a read returns a value no later read returns an older
-// one (atomicity).
+// quorum for the copy with the greatest sequence number, then write that
+// copy back to a quorum before returning it, so that once a read returns
+// a value no later read returns an older one (atomicity).
 func (q *quorumArray) Load(i int) *snapReg {
-	best := q.nw.await(q.nw.broadcast(mpRead, q.offset+i, nil))
-	if best == nil {
-		return &snapReg{value: vector.Bottom, view: vector.New(q.count)}
+	nw := q.nw
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	idx := q.offset + i
+	best := nw.initial
+	for _, p := range nw.drawQuorum() {
+		if r := nw.replicas[p][idx]; r.seq > best.seq {
+			best = r
+		}
 	}
-	q.nw.await(q.nw.broadcast(mpWrite, q.offset+i, best))
+	nw.storeQuorum(idx, best)
 	return best
 }
 
@@ -196,5 +170,18 @@ func (q *quorumArray) Load(i int) *snapReg {
 // chosen by the single writer (the snapshot layer increments them), so no
 // timestamp round-trip is needed.
 func (q *quorumArray) Store(i int, r *snapReg) {
-	q.nw.await(q.nw.broadcast(mpWrite, q.offset+i, r))
+	nw := q.nw
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.storeQuorum(q.offset+i, r)
+}
+
+// storeQuorum applies one quorum write: every replica of a fresh quorum
+// adopts r unless it already holds a fresher copy. Callers hold nw.mu.
+func (nw *Network) storeQuorum(idx int, r *snapReg) {
+	for _, p := range nw.drawQuorum() {
+		if r.seq > nw.replicas[p][idx].seq {
+			nw.replicas[p][idx] = r
+		}
+	}
 }

@@ -3,7 +3,6 @@ package async
 import (
 	"sync"
 	"testing"
-	"time"
 
 	"kset/internal/condition"
 	"kset/internal/vector"
@@ -65,6 +64,39 @@ func TestQuorumRegisterReadWrite(t *testing.T) {
 	regs.Store(2, &snapReg{value: 1, seq: 1, view: vector.New(5)})
 	if got := regs.Load(2); got.value != 4 {
 		t.Errorf("stale write took effect: %+v", got)
+	}
+}
+
+// TestNetworkDeterministicQuorums: the virtual network's quorum draws are
+// a pure function of the seed and the operation order, so two networks
+// with the same seed serve identical register histories.
+func TestNetworkDeterministicQuorums(t *testing.T) {
+	run := func(seed int64) []vector.Value {
+		nw, err := NewNetwork(5, 2, 5, 5, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nw.Close()
+		regs, err := nw.Registers(0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []vector.Value
+		for i := 0; i < 5; i++ {
+			regs.Store(i, &snapReg{value: vector.Value(i + 1), seq: 1, view: vector.New(5)})
+			trace = append(trace, regs.Load(i).value)
+		}
+		nw.Crash(2)
+		for i := 0; i < 5; i++ {
+			trace = append(trace, regs.Load(i).value)
+		}
+		return trace
+	}
+	a, b := run(17), run(17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed networks diverged at op %d: %v vs %v", i, a, b)
+		}
 	}
 }
 
@@ -130,7 +162,7 @@ func TestAgreementOverMessagePassing(t *testing.T) {
 	} {
 		out, err := Run(Config{
 			X: x, Cond: c, Input: input, Crashes: crashes,
-			Seed: 13, Memory: MessagePassingMemory, Patience: 5 * time.Second,
+			Seed: 13, Memory: MessagePassingMemory,
 		})
 		if err != nil {
 			t.Fatal(err)

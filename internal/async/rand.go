@@ -1,0 +1,33 @@
+package async
+
+// prng is a splitmix64 generator: one word of state, allocation-free,
+// statistically strong enough for scheduling draws, and trivially
+// reseedable per run. It is the same generator the fault-injection
+// transport uses, so every randomized plane of the repo shares one
+// reproducibility story: identical seed, identical draws.
+type prng struct{ s uint64 }
+
+// reseed resets the generator to a deterministic function of seed.
+func (p *prng) reseed(seed int64) { p.s = uint64(seed) }
+
+// next returns the next 64-bit draw.
+func (p *prng) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a draw in [0, n); n must be positive.
+func (p *prng) intn(n int) int {
+	return int(p.next() % uint64(n))
+}
+
+// shuffle permutes xs in place (Fisher–Yates).
+func (p *prng) shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := p.intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -7,17 +7,21 @@ import (
 )
 
 // Snapshot is a linearizable single-writer-per-entry snapshot object: entry
-// i is written by process i+1, and Scan returns an atomic copy of the whole
+// i is written by process i+1, and Scan returns an atomic view of the whole
 // array. Scans are totally ordered by containment because entries are
 // written at most once and grow monotonically.
 //
 // The implementation serializes operations with a mutex, which trivially
 // linearizes them; it stands in for the wait-free construction of Afek et
 // al. cited by the paper, whose interface and ordering guarantees are what
-// the algorithm relies on.
+// the algorithm relies on. Like AtomicSnapshot it publishes epochs: the
+// first Scan after a Write clones the array into an immutable published
+// vector, and every further Scan returns that same vector allocation-free
+// until the next Write invalidates it.
 type Snapshot struct {
 	mu   sync.Mutex
 	regs vector.Vector
+	pub  vector.Vector // published immutable copy; nil while stale
 }
 
 // NewSnapshot creates a snapshot object with n entries, all ⊥.
@@ -25,18 +29,40 @@ func NewSnapshot(n int) *Snapshot {
 	return &Snapshot{regs: vector.New(n)}
 }
 
+// Reset restores the snapshot to n all-⊥ entries, reusing its register
+// storage when the size allows. Pooled runners call it between runs.
+func (s *Snapshot) Reset(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cap(s.regs) < n {
+		s.regs = vector.New(n)
+	} else {
+		s.regs = s.regs[:n]
+		for i := range s.regs {
+			s.regs[i] = vector.Bottom
+		}
+	}
+	s.pub = nil
+}
+
 // Write sets entry i (0-based) to v.
 func (s *Snapshot) Write(i int, v vector.Value) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.regs[i] = v
+	s.pub = nil
 }
 
-// Scan returns an atomic copy of the array.
+// Scan returns an atomic view of the array: an immutable epoch-published
+// vector shared with every other Scan of the same state. Callers must not
+// modify it.
 func (s *Snapshot) Scan() vector.Vector {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.regs.Clone()
+	if s.pub == nil {
+		s.pub = s.regs.Clone()
+	}
+	return s.pub
 }
 
 // AnyNonBottom returns the greatest non-⊥ entry of an atomic scan, or ⊥.

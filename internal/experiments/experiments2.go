@@ -3,7 +3,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"kset"
 	"kset/internal/adversary"
@@ -274,7 +273,7 @@ func runE10(cfg Params) Report {
 	tbl := sec.AddTable("scenario", "decided", "values", "blocked")
 
 	sys, err := kset.New(kset.WithParams(p), kset.WithCondition(c),
-		kset.WithExecutor(kset.Asynchronous), kset.WithAsyncPatience(2*time.Second))
+		kset.WithExecutor(kset.Asynchronous))
 	if err != nil {
 		return r.Fail(err)
 	}
@@ -314,7 +313,7 @@ func runE10(cfg Params) Report {
 	// registers, x < n/2): identical guarantees with no shared memory at
 	// all.
 	mpSys, err := kset.New(kset.WithParams(p), kset.WithCondition(c),
-		kset.WithExecutor(kset.Asynchronous), kset.WithAsyncPatience(10*time.Second),
+		kset.WithExecutor(kset.Asynchronous),
 		kset.WithAsyncMemory(kset.MessagePassingMemory))
 	if err != nil {
 		return r.Fail(err)
@@ -339,7 +338,7 @@ func runE10(cfg Params) Report {
 	}
 	bp := core.Params{N: 4, T: 1, K: 1, D: 0, L: 1} // x = 1
 	bSys, err := kset.New(kset.WithParams(bp), kset.WithCondition(blocker),
-		kset.WithExecutor(kset.Asynchronous), kset.WithAsyncPatience(100*time.Millisecond))
+		kset.WithExecutor(kset.Asynchronous), kset.WithAsyncBudget(8))
 	if err != nil {
 		return r.Fail(err)
 	}

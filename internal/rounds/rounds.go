@@ -3,6 +3,7 @@ package rounds
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"kset/internal/vector"
@@ -198,10 +199,14 @@ type Options struct {
 	// MaxRounds caps the execution; the engine also stops as soon as every
 	// live process has decided.
 	MaxRounds int
-	// Concurrent runs each round's compute phase in per-process goroutines
-	// instead of in-line. Semantics are identical; the concurrent executor
-	// exists to exercise protocol implementations under the race detector
-	// and to model the paper's "n processes" faithfully.
+	// Concurrent runs each round's compute phase on a bounded per-run
+	// worker pool (min(GOMAXPROCS, 8) goroutines, spawned lazily at the
+	// first concurrent round and retired at run end) instead of in-line.
+	// Each worker computes a contiguous span of processes into
+	// per-process outcome slots, so outcome order — and thus every
+	// Result — is identical to the in-line executor's. The concurrent
+	// executor exists to exercise protocol implementations under the
+	// race detector and to model the paper's "n processes" faithfully.
 	Concurrent bool
 	// Trace, when non-nil, is filled with the round-by-round events of the
 	// execution (rendering payloads with fmt).
@@ -248,6 +253,14 @@ type Engine struct {
 	row     []any
 	limits  []int
 	partial []int // senders whose delivery prefix ends mid-row this round
+
+	// Concurrent executor state: a per-run bounded worker pool fed
+	// contiguous process spans over concWork, writing outcomes into
+	// per-process slots of concOut (id 0 marks a skipped process).
+	// Started lazily by the first concurrent round, stopped at run end.
+	concWork chan concSpan
+	concWG   sync.WaitGroup
+	concOut  []outcome
 }
 
 type outcome struct {
@@ -354,6 +367,9 @@ func (e *Engine) RunInto(res *Result, procs []Process, fp FailurePattern, opts O
 		opts.Trace.N = n
 		opts.Trace.Rounds = opts.Trace.Rounds[:0]
 	}
+	// The concurrent executor's workers live at most until run end,
+	// whichever way the round loop exits.
+	defer e.stopConc()
 	for r := 1; r <= opts.MaxRounds; r++ {
 		if opts.Cancel != nil {
 			select {
@@ -474,32 +490,95 @@ func (e *Engine) runRoundTransport(procs []Process, fp FailurePattern, r int, re
 	return true
 }
 
-// stepConcurrent runs one round's receive/compute phase with one
-// goroutine per live process and returns the appended outcomes. It is a
-// separate function so the closure's capture of the append target only
-// heap-allocates the slice header on the concurrent path — inlined into
-// runRoundTransport it would make every in-line round pay that
-// allocation too.
-func (e *Engine) stepConcurrent(procs []Process, r int, outcomes []outcome) []outcome {
-	n := len(procs)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for id := 1; id <= n; id++ {
-		if !e.alive[id] || e.halted[id] {
-			continue
-		}
-		wg.Add(1)
-		// r is passed as an argument: a capture would make the
-		// per-iteration loop variable escape to the heap on every round.
-		go func(id, r int) {
-			defer wg.Done()
-			v, done := procs[id-1].Step(r, e.recv[(id-1)*n:id*n])
-			mu.Lock()
-			outcomes = append(outcomes, outcome{ProcessID(id), v, done})
-			mu.Unlock()
-		}(id, r)
+// concSpan is one unit of concurrent compute work: run round r's Step for
+// the processes in [lo, hi] (1-based, inclusive).
+type concSpan struct{ lo, hi, r int }
+
+// concWorkers returns the concurrent executor's pool size for n
+// processes: enough goroutines to exercise protocols under the race
+// detector and saturate the cores, bounded so per-run spawn cost stays
+// flat as n grows.
+func concWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
 	}
-	wg.Wait()
+	if w > 8 {
+		w = 8
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// startConc spawns the run's compute workers. They live for one run —
+// stepConcurrent feeds them a batch of spans per round — and exit when
+// RunInto closes the work channel, so an Engine holds no goroutines
+// between runs. Workers write each process's outcome into its own slot
+// of concOut (no lock, no append), and the per-round channel/WaitGroup
+// handoff orders those writes with the main goroutine's reads.
+func (e *Engine) startConc(procs []Process) {
+	n := len(procs)
+	if cap(e.concOut) < n {
+		e.concOut = make([]outcome, n)
+	}
+	e.concOut = e.concOut[:n]
+	work := make(chan concSpan)
+	e.concWork = work
+	for i := 0; i < concWorkers(n); i++ {
+		go func() {
+			for sp := range work {
+				for id := sp.lo; id <= sp.hi; id++ {
+					if !e.alive[id] || e.halted[id] {
+						e.concOut[id-1] = outcome{}
+						continue
+					}
+					v, done := procs[id-1].Step(sp.r, e.recv[(id-1)*n:id*n])
+					e.concOut[id-1] = outcome{ProcessID(id), v, done}
+				}
+				e.concWG.Done()
+			}
+		}()
+	}
+}
+
+// stopConc shuts the run's compute workers down (no-op when the run never
+// used the concurrent executor).
+func (e *Engine) stopConc() {
+	if e.concWork != nil {
+		close(e.concWork)
+		e.concWork = nil
+	}
+}
+
+// stepConcurrent runs one round's receive/compute phase on the engine's
+// bounded worker pool (started lazily on the round's first use) and
+// returns the appended outcomes. Each worker computes a contiguous span
+// of processes into per-process outcome slots; collecting the slots in id
+// order afterwards makes the outcome order deterministic, unlike the
+// former goroutine-per-process executor's completion-order append.
+func (e *Engine) stepConcurrent(procs []Process, r int, outcomes []outcome) []outcome {
+	if e.concWork == nil {
+		e.startConc(procs)
+	}
+	n := len(procs)
+	w := concWorkers(n)
+	span := (n + w - 1) / w
+	for lo := 1; lo <= n; lo += span {
+		hi := lo + span - 1
+		if hi > n {
+			hi = n
+		}
+		e.concWG.Add(1)
+		e.concWork <- concSpan{lo: lo, hi: hi, r: r}
+	}
+	e.concWG.Wait()
+	for id := 1; id <= n; id++ {
+		if o := e.concOut[id-1]; o.id != 0 {
+			outcomes = append(outcomes, o)
+		}
+	}
 	return outcomes
 }
 

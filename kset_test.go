@@ -5,7 +5,6 @@ package kset_test
 
 import (
 	"testing"
-	"time"
 
 	"kset"
 )
@@ -88,12 +87,11 @@ func TestFacadeAsync(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := kset.AgreeAsync(kset.AsyncConfig{
-		X:        2,
-		Cond:     c,
-		Input:    kset.VectorOf(3, 3, 2, 1, 2),
-		Crashes:  map[int]kset.CrashPoint{5: kset.CrashBeforeWrite},
-		Seed:     1,
-		Patience: time.Second,
+		X:       2,
+		Cond:    c,
+		Input:   kset.VectorOf(3, 3, 2, 1, 2),
+		Crashes: map[int]kset.CrashPoint{5: kset.CrashBeforeWrite},
+		Seed:    1,
 	})
 	if err != nil {
 		t.Fatal(err)

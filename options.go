@@ -1,7 +1,5 @@
 package kset
 
-import "time"
-
 // Option configures a System at construction time. Every parameter an
 // option sets is validated once inside New, which is what keeps the
 // System's Run hot path free of per-call validation.
@@ -46,10 +44,10 @@ func WithWorkers(n int) Option {
 }
 
 // WithProcessGoroutines makes synchronous runs execute each round's
-// compute phase in per-process goroutines — the executor that models the
-// paper's "n processes" faithfully and exercises protocols under the race
-// detector. The default is the in-line executor, which is semantically
-// identical and much faster.
+// compute phase on a bounded concurrent worker pool — the executor that
+// models the paper's "n processes" faithfully and exercises protocols
+// under the race detector. The default is the in-line executor, which is
+// semantically identical and much faster.
 func WithProcessGoroutines() Option {
 	return func(s *System) { s.procGoroutines = true }
 }
@@ -60,8 +58,12 @@ func WithAsyncMemory(kind MemoryKind) Option {
 	return func(s *System) { s.asyncMemory = kind }
 }
 
-// WithAsyncPatience bounds how long an undecided asynchronous process
-// keeps re-scanning before giving up (default 300ms).
-func WithAsyncPatience(d time.Duration) Option {
-	return func(s *System) { s.asyncPatience = d }
+// WithAsyncBudget bounds how many fruitless re-scans an undecided
+// asynchronous process performs before giving up (default: a small bound
+// derived from n that always suffices for in-condition inputs). The
+// budget is counted in virtual scheduler steps, not wall-clock time, so
+// runs stay deterministic: out-of-condition inputs give up after
+// scans × n steps instead of blocking a real-time patience window.
+func WithAsyncBudget(scans int) Option {
+	return func(s *System) { s.asyncBudget = scans }
 }

@@ -36,6 +36,15 @@ cd "$(dirname "$0")/.."
 # WireEncode prices encoding one state-carrying data frame into a caller
 # buffer — the per-copy cost of every wire-transport send and ksetpeer
 # retransmission — and must stay allocation-free (measured: 0 at PR 9).
+# The async-plane budgets (PR 10) pin the executor overhaul: warm scans on
+# both snapshot substrates are epoch-published and allocation-free — and
+# the wait-free construction must never cost more than the mutex stand-in
+# (measured: 0 / 0); E10Async is one full virtual-scheduler agreement run
+# (measured: 5); EngineConcurrent is a 64-process classical run on the
+# bounded worker-pool executor (measured: 15, was 1189 on the
+# goroutine-per-process executor); AsyncCampaign is a fixed 512-scenario
+# asynchronous campaign through pooled worker Runners (measured: 2553,
+# ~5 allocs/run).
 budgets='
 BenchmarkE1Lattice 2400
 BenchmarkE9Adversary 400
@@ -46,23 +55,44 @@ BenchmarkEngineTransport/faultnet 0
 BenchmarkSubmitPath 40
 BenchmarkCheckpointEncode 60
 BenchmarkWireEncode 0
+BenchmarkSnapshotScan/mutex 1
+BenchmarkSnapshotScan/waitfree 1
+BenchmarkE10Async 40
+BenchmarkEngineConcurrent 60
+BenchmarkAsyncCampaign 3000
 '
 
-raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport|SubmitPath$|CheckpointEncode$|WireEncode$' \
+# Wall-clock budgets (ns/op), used sparingly: ns/op is noisy in CI, so only
+# order-of-magnitude regressions are gated. E10Async must stay ≥ 20× under
+# its pre-overhaul 2.39ms — the deterministic virtual scheduler runs it in
+# microseconds (measured: ~3µs), so 120µs flags any return of wall-clock
+# sleeps to the async hot path without tripping on scheduler jitter.
+nsbudgets='
+BenchmarkE10Async 120000
+'
+
+raw="$(go test -run '^$' -bench 'E1Lattice$|E9Adversary$|CampaignThroughput/campaign|CollectorPath$|EngineTransport|SubmitPath$|CheckpointEncode$|WireEncode$|E10Async$|SnapshotScan|EngineConcurrent$|AsyncCampaign$' \
 	-benchmem -benchtime "$benchtime" -count 1 . ./internal/rounds/ ./internal/service/ ./internal/wire/)"
 printf '%s\n' "$raw"
 
-printf '%s\n' "$raw" | awk -v budgets="$budgets" '
+printf '%s\n' "$raw" | awk -v budgets="$budgets" -v nsbudgets="$nsbudgets" '
 BEGIN {
     n = split(budgets, lines, "\n")
     for (i = 1; i <= n; i++) {
         if (split(lines[i], f, " ") == 2) budget[f[1]] = f[2] + 0
     }
+    n = split(nsbudgets, lines, "\n")
+    for (i = 1; i <= n; i++) {
+        if (split(lines[i], f, " ") == 2) nsbudget[f[1]] = f[2] + 0
+    }
 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    for (i = 2; i <= NF; i++) if ($(i) == "allocs/op") allocs = $(i - 1) + 0
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "allocs/op") allocs = $(i - 1) + 0
+        if ($(i) == "ns/op") ns = $(i - 1) + 0
+    }
     if (name in budget) {
         seen[name] = 1
         if (allocs > budget[name]) {
@@ -72,10 +102,23 @@ BEGIN {
             printf "gate ok:   %s at %d allocs/op (budget %d)\n", name, allocs, budget[name]
         }
     }
+    if (name in nsbudget) {
+        nsseen[name] = 1
+        if (ns > nsbudget[name]) {
+            printf "GATE FAIL: %s at %d ns/op exceeds budget %d\n", name, ns, nsbudget[name]
+            bad = 1
+        } else {
+            printf "gate ok:   %s at %d ns/op (budget %d)\n", name, ns, nsbudget[name]
+        }
+    }
 }
 END {
     for (name in budget) if (!(name in seen)) {
         printf "GATE FAIL: budgeted benchmark %s did not run\n", name
+        bad = 1
+    }
+    for (name in nsbudget) if (!(name in nsseen)) {
+        printf "GATE FAIL: ns-budgeted benchmark %s did not run\n", name
         bad = 1
     }
     exit bad

@@ -7,7 +7,6 @@ import (
 	"io"
 	"runtime"
 	"sync"
-	"time"
 
 	"kset/internal/async"
 	"kset/internal/condition"
@@ -42,7 +41,7 @@ type System struct {
 	workers        int
 	procGoroutines bool
 	asyncMemory    MemoryKind
-	asyncPatience  time.Duration
+	asyncBudget    int
 }
 
 // New constructs a System from functional options, validating the
@@ -268,27 +267,50 @@ func (asyncExec) check(s *System) error {
 	return s.p.ValidateWith(s.cond)
 }
 func (asyncExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, res *Result) (*Result, error) {
-	crashes := sc.AsyncCrashes
-	if crashes == nil && len(sc.FP.Crashes) > 0 {
-		crashes = make(map[int]CrashPoint, len(sc.FP.Crashes))
+	n := s.p.N
+	// The scenario's crash description — an AsyncCrashes map or the
+	// synchronous FP — is converted once into the worker's dense
+	// crash-point scratch, so the hot path builds no per-run maps.
+	if cap(w.acp) < n {
+		w.acp = make([]async.CrashPoint, n)
+	}
+	cp := w.acp[:n]
+	for i := range cp {
+		cp[i] = async.NoCrash
+	}
+	if sc.AsyncCrashes != nil {
+		for id, c := range sc.AsyncCrashes {
+			if id < 1 || id > n {
+				return nil, fmt.Errorf("kset: async crash for unknown process %d: %w", id, ErrBadParams)
+			}
+			cp[id-1] = c
+		}
+	} else {
 		for id, cr := range sc.FP.Crashes {
+			if id < 1 || int(id) > n {
+				return nil, fmt.Errorf("kset: crash for unknown process %d: %w", id, ErrBadParams)
+			}
 			if cr.Round == 1 && cr.AfterSends == 0 {
-				crashes[int(id)] = CrashBeforeWrite
+				cp[id-1] = async.CrashBeforeWrite
 			} else {
-				crashes[int(id)] = CrashAfterWrite
+				cp[id-1] = async.CrashAfterWrite
 			}
 		}
 	}
-	out, err := async.Run(async.Config{
-		X:        s.p.X(),
-		Cond:     s.cond,
-		Input:    sc.Input,
-		Crashes:  crashes,
-		Seed:     sc.Seed,
-		Patience: s.asyncPatience,
-		Memory:   s.asyncMemory,
-		Cancel:   ctx.Done(),
-	})
+	if w.arun == nil {
+		w.arun = async.NewRunner()
+	}
+	out := &w.aout
+	err := w.arun.RunInto(async.Config{
+		X:           s.p.X(),
+		Cond:        s.cond,
+		Input:       sc.Input,
+		CrashPoints: cp,
+		Seed:        sc.Seed,
+		ScanBudget:  s.asyncBudget,
+		Memory:      s.asyncMemory,
+		Cancel:      ctx.Done(),
+	}, out)
 	if err != nil {
 		return nil, err
 	}
@@ -301,11 +323,15 @@ func (asyncExec) run(ctx context.Context, s *System, w *worker, sc *Scenario, re
 		res = &Result{}
 	}
 	res.Reset()
-	for id, v := range out.Decisions {
-		res.Decisions[ProcessID(id)] = v
+	for id := 1; id <= n; id++ {
+		if v, ok := out.Decision(id); ok {
+			res.Decisions[ProcessID(id)] = v
+		}
 	}
-	for id := range crashes {
-		res.Crashed[ProcessID(id)] = true
+	for i, c := range cp {
+		if c != async.NoCrash {
+			res.Crashed[ProcessID(i+1)] = true
+		}
 	}
 	return res, nil
 }
@@ -331,6 +357,13 @@ type worker struct {
 	runner *core.Runner
 	res    *rounds.Result
 	ft     *faultnet.Transport
+
+	// Asynchronous-plane state: a reusable scheduler Runner, a recycled
+	// Outcome and the dense crash-point scratch, so campaign sweeps of
+	// async scenarios allocate per run only what the Result itself needs.
+	arun *async.Runner
+	aout async.Outcome
+	acp  []async.CrashPoint
 
 	// wt is the worker's wire transport under WithTransport, created by
 	// the owning System's factory on first use. Workers outlive Systems
